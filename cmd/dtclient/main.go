@@ -1,0 +1,179 @@
+// Command dtclient is the user-side tool for a running deployment
+// (started with trustdomaind): it audits the deployment and requests
+// threshold signatures.
+//
+//	dtclient -params deployment.json audit
+//	dtclient -params deployment.json sign -msg "transfer 3 BTC"
+//	dtclient -params deployment.json status -domain domain-1
+package main
+
+import (
+	"encoding/hex"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/audit"
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+	"repro/internal/deployfile"
+	"repro/internal/transport"
+
+	"repro/internal/domain"
+)
+
+func main() {
+	log.SetFlags(0)
+	paramsPath := flag.String("params", "deployment.json", "deployment parameters file from trustdomaind")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		log.Fatal("dtclient: need a subcommand: audit | sign | status")
+	}
+
+	file, err := deployfile.Read(*paramsPath)
+	if err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+	params, err := file.Params()
+	if err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+
+	switch flag.Arg(0) {
+	case "audit":
+		runAudit(params)
+	case "sign":
+		runSign(file, params, flag.Args()[1:])
+	case "status":
+		runStatus(params, flag.Args()[1:])
+	default:
+		log.Fatalf("dtclient: unknown subcommand %q", flag.Arg(0))
+	}
+}
+
+func runAudit(params audit.Params) {
+	c := audit.NewClient(params)
+	defer c.Close()
+	report, err := c.Audit()
+	if err != nil {
+		log.Fatalf("dtclient: audit: %v", err)
+	}
+	for _, d := range report.Domains {
+		st := d.Status.Resp.Status
+		fmt.Printf("%-10s version=%d log=%d digest=%s...\n",
+			d.Info.Name, st.Version, st.LogLen, st.CurrentDigest[:12])
+		for _, r := range d.Records {
+			fmt.Printf("             log: v%d %s...\n", r.Version, r.Digest[:12])
+		}
+	}
+	if report.Consistent {
+		fmt.Println("audit: CONSISTENT — all domains attest to the same code and history")
+		return
+	}
+	fmt.Println("audit: INCONSISTENT")
+	for _, f := range report.Findings {
+		fmt.Printf("  finding: %s\n", f)
+	}
+	for i := range report.Proofs {
+		p := &report.Proofs[i]
+		status := "verifies"
+		if err := audit.VerifyMisbehavior(&params, p); err != nil {
+			status = "does NOT verify: " + err.Error()
+		}
+		fmt.Printf("  proof[%d]: kind=%s domain=%s %s\n", i, p.Kind, p.Domain, status)
+	}
+	os.Exit(1)
+}
+
+func runSign(file *deployfile.File, params audit.Params, args []string) {
+	fs := flag.NewFlagSet("sign", flag.ExitOnError)
+	msg := fs.String("msg", "", "message to threshold-sign")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	if *msg == "" {
+		log.Fatal("dtclient: sign needs -msg")
+	}
+	tk, err := file.ThresholdKey()
+	if err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+	if tk == nil {
+		log.Fatal("dtclient: deployment file has no threshold key")
+	}
+	inv := &rpcInvoker{params: params}
+	defer inv.close()
+	sig, err := blsapp.ThresholdSign(inv, tk, []byte(*msg))
+	if err != nil {
+		log.Fatalf("dtclient: sign: %v", err)
+	}
+	if !bls.Verify(&tk.GroupKey, []byte(*msg), sig) {
+		log.Fatal("dtclient: combined signature failed verification")
+	}
+	sb := sig.Bytes()
+	fmt.Printf("message:   %q\n", *msg)
+	fmt.Printf("signature: %s\n", hex.EncodeToString(sb[:]))
+	fmt.Printf("verified under group key (threshold %d-of-%d)\n", tk.T, tk.N)
+}
+
+func runStatus(params audit.Params, args []string) {
+	fs := flag.NewFlagSet("status", flag.ExitOnError)
+	name := fs.String("domain", "", "domain name (default: all)")
+	if err := fs.Parse(args); err != nil {
+		log.Fatal(err)
+	}
+	c := audit.NewClient(params)
+	defer c.Close()
+	for _, d := range params.Domains {
+		if *name != "" && d.Name != *name {
+			continue
+		}
+		env, err := c.FetchStatus(d.Name)
+		if err != nil {
+			fmt.Printf("%-10s ERROR: %v\n", d.Name, err)
+			continue
+		}
+		st := env.Resp.Status
+		pending := "-"
+		if st.Pending != nil {
+			pending = fmt.Sprintf("v%d staged", st.Pending.Version)
+		}
+		fmt.Printf("%-10s version=%d log=%d counter=%d pending=%s digest=%s...\n",
+			d.Name, st.Version, st.LogLen, st.Counter, pending, st.CurrentDigest[:12])
+	}
+}
+
+// rpcInvoker adapts the deployment's domain list to blsapp.Invoker.
+type rpcInvoker struct {
+	params audit.Params
+	conns  []*transport.Client
+}
+
+func (r *rpcInvoker) NumDomains() int { return len(r.params.Domains) }
+
+func (r *rpcInvoker) Invoke(i int, request []byte) ([]byte, error) {
+	for len(r.conns) < len(r.params.Domains) {
+		r.conns = append(r.conns, nil)
+	}
+	if r.conns[i] == nil {
+		c, err := transport.Dial(r.params.Domains[i].Addr)
+		if err != nil {
+			return nil, err
+		}
+		r.conns[i] = c
+	}
+	var resp domain.InvokeResponse
+	if err := r.conns[i].Call("invoke", domain.InvokeRequest{Request: request}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Response, nil
+}
+
+func (r *rpcInvoker) close() {
+	for _, c := range r.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+}

@@ -1,0 +1,113 @@
+// Command monitord runs a certificate-transparency-style public monitor
+// for a deployment: clients gossip the attested statuses they observe;
+// the monitor re-verifies each one, appends it to a public Merkle log,
+// and raises publicly verifiable misbehavior proofs when any domain's
+// observations contradict append-only execution (split views,
+// equivocation, rollbacks).
+//
+//	monitord -params deployment.json -listen 127.0.0.1:7070
+//
+// Protocol (framed JSON, see internal/transport):
+//
+//	submit  {envelope}            -> {log_index, alert?}
+//	head    {}                    -> signed tree head
+//	alerts  {}                    -> all accumulated misbehavior proofs
+//	poll    {}                    -> monitor fetches statuses itself from
+//	                                 every domain and ingests them
+package main
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/audit"
+	"repro/internal/deployfile"
+	"repro/internal/monitor"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		paramsPath = flag.String("params", "deployment.json", "deployment parameters file")
+		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+	)
+	flag.Parse()
+
+	file, err := deployfile.Read(*paramsPath)
+	if err != nil {
+		log.Fatalf("monitord: %v", err)
+	}
+	params, err := file.Params()
+	if err != nil {
+		log.Fatalf("monitord: %v", err)
+	}
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		log.Fatalf("monitord: keygen: %v", err)
+	}
+	mon := monitor.New(params, priv)
+	auditClient := audit.NewClient(params)
+	defer auditClient.Close()
+
+	srv := transport.NewServer()
+	srv.Handle("submit", func(body json.RawMessage) (any, error) {
+		var env audit.AttestedStatusEnvelope
+		if err := json.Unmarshal(body, &env); err != nil {
+			return nil, err
+		}
+		idx, proof, err := mon.Submit(&env)
+		if err != nil {
+			return nil, err
+		}
+		return submitResponse{LogIndex: idx, Alert: proof}, nil
+	})
+	srv.Handle("head", func(json.RawMessage) (any, error) {
+		return mon.TreeHead(), nil
+	})
+	srv.Handle("alerts", func(json.RawMessage) (any, error) {
+		return mon.Alerts(), nil
+	})
+	srv.Handle("poll", func(json.RawMessage) (any, error) {
+		var out []submitResponse
+		for _, d := range params.Domains {
+			env, err := auditClient.FetchStatus(d.Name)
+			if err != nil {
+				return nil, fmt.Errorf("fetching %s: %w", d.Name, err)
+			}
+			idx, proof, err := mon.Submit(env)
+			if err != nil {
+				return nil, fmt.Errorf("ingesting %s: %w", d.Name, err)
+			}
+			out = append(out, submitResponse{LogIndex: idx, Alert: proof})
+		}
+		return out, nil
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("monitord: listen: %v", err)
+	}
+	srv.Serve(ln)
+	defer srv.Close()
+	fmt.Printf("monitord: watching %d domains, serving on %s\n", len(params.Domains), ln.Addr())
+	fmt.Printf("monitord: tree-head key %x\n", mon.PublicKey())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("monitord: shutting down")
+}
+
+type submitResponse struct {
+	LogIndex int                `json:"log_index"`
+	Alert    *audit.Misbehavior `json:"alert,omitempty"`
+}

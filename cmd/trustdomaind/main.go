@@ -1,0 +1,106 @@
+// Command trustdomaind runs trust domains.
+//
+// In -demo mode (the default) it bootstraps a complete single-machine
+// deployment — n trust domains with heterogeneous simulated TEEs, the
+// BLS threshold application installed everywhere — writes the public
+// parameters to a file for dtclient, and serves until interrupted:
+//
+//	trustdomaind -demo -n 3 -t 2 -params /tmp/deployment.json
+//
+// then, in another terminal:
+//
+//	dtclient -params /tmp/deployment.json audit
+//	dtclient -params /tmp/deployment.json sign -msg "hello"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+	"repro/internal/core"
+	"repro/internal/deployfile"
+	"repro/internal/framework"
+	"repro/internal/sandbox"
+	"repro/internal/tee"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		demo   = flag.Bool("demo", true, "run a complete single-machine deployment")
+		n      = flag.Int("n", 3, "number of trust domains (incl. domain 0)")
+		t      = flag.Int("t", 2, "signing threshold")
+		params = flag.String("params", "deployment.json", "where to write the public parameters")
+		frozen = flag.Bool("frozen", false, "disable code updates after installation")
+	)
+	flag.Parse()
+	if !*demo {
+		log.Fatal("trustdomaind: only -demo mode is available in this reproduction " +
+			"(multi-machine mode would need a key-distribution ceremony; see DESIGN.md)")
+	}
+	if *t < 1 || *t > *n {
+		log.Fatalf("trustdomaind: invalid threshold %d of %d", *t, *n)
+	}
+
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		log.Fatalf("trustdomaind: developer keygen: %v", err)
+	}
+	vendors, roots, err := tee.NewSimulatedEcosystem()
+	if err != nil {
+		log.Fatalf("trustdomaind: ecosystem: %v", err)
+	}
+	var vendorList []*tee.Vendor
+	for _, id := range tee.AllVendorIDs() {
+		vendorList = append(vendorList, vendors[id])
+	}
+	tk, shares, err := bls.ThresholdKeyGen(*t, *n)
+	if err != nil {
+		log.Fatalf("trustdomaind: threshold keygen: %v", err)
+	}
+
+	dep, err := core.Deploy(core.Config{
+		NumDomains: *n,
+		Developer:  dev,
+		Vendors:    vendorList,
+		Roots:      roots,
+		AppModule:  blsapp.ModuleBytes(),
+		AppVersion: 1,
+		HostsFor: func(i int) map[string]*sandbox.HostFunc {
+			return blsapp.Hosts(&shares[i])
+		},
+		Frozen: *frozen,
+	})
+	if err != nil {
+		log.Fatalf("trustdomaind: deploy: %v", err)
+	}
+	defer dep.Close()
+
+	file := deployfile.FromParams(dep.Params(), tk)
+	if err := file.Write(*params); err != nil {
+		log.Fatalf("trustdomaind: %v", err)
+	}
+
+	fmt.Printf("trustdomaind: %d domains up (threshold %d-of-%d, frozen=%v)\n", *n, *t, *n, *frozen)
+	for i := 0; i < dep.NumDomains(); i++ {
+		d := dep.Domain(i)
+		teeNote := "no TEE"
+		if d.HasTEE() {
+			teeNote = "simulated TEE"
+		}
+		fmt.Printf("  %-10s %-21s [%s]\n", d.Name(), d.Addr(), teeNote)
+	}
+	fmt.Printf("public parameters written to %s\n", *params)
+	fmt.Println("serving until SIGINT/SIGTERM ...")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

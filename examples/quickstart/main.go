@@ -1,0 +1,107 @@
+// Command quickstart bootstraps a complete distributed-trust deployment
+// on one machine and exercises the whole paper pipeline end to end:
+//
+//  1. a developer identity and a simulated heterogeneous TEE ecosystem;
+//  2. three trust domains (domain 0 without secure hardware, as in
+//     Figure 2), each running the application-independent framework with
+//     the BLS threshold-signature application from §5;
+//  3. a client audit: attested code digests and histories fetched from
+//     every domain and cross-checked;
+//  4. a 2-of-3 threshold signature produced across the domains.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+	"repro/internal/core"
+	"repro/internal/framework"
+	"repro/internal/sandbox"
+	"repro/internal/tee"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Developer identity and secure-hardware ecosystem.
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		log.Fatalf("developer keygen: %v", err)
+	}
+	vendors, roots, err := tee.NewSimulatedEcosystem()
+	if err != nil {
+		log.Fatalf("ecosystem: %v", err)
+	}
+	var vendorList []*tee.Vendor
+	for _, id := range tee.AllVendorIDs() {
+		vendorList = append(vendorList, vendors[id])
+	}
+	fmt.Println("== quickstart: bootstrapping distributed trust ==")
+	fmt.Printf("simulated secure-hardware vendors: %v\n", tee.AllVendorIDs())
+
+	// 2. Threshold key: the signing key is born distributed; no domain
+	// ever holds it whole.
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		log.Fatalf("threshold keygen: %v", err)
+	}
+	fmt.Printf("threshold key: %d-of-%d BLS over BLS12-381\n", tk.T, tk.N)
+
+	// 3. Deploy: domain 0 is the developer's own machine (no TEE); the
+	// other domains run inside distinct simulated TEEs.
+	dep, err := core.Deploy(core.Config{
+		NumDomains: 3,
+		Developer:  dev,
+		Vendors:    vendorList,
+		Roots:      roots,
+		AppModule:  blsapp.ModuleBytes(),
+		AppVersion: 1,
+		HostsFor: func(i int) map[string]*sandbox.HostFunc {
+			return blsapp.Hosts(&shares[i])
+		},
+	})
+	if err != nil {
+		log.Fatalf("deploy: %v", err)
+	}
+	defer dep.Close()
+	for i := 0; i < dep.NumDomains(); i++ {
+		d := dep.Domain(i)
+		kind := "no TEE (developer-run, Fig 2 trust domain 0)"
+		if d.HasTEE() {
+			kind = "simulated TEE"
+		}
+		fmt.Printf("  %s at %s [%s]\n", d.Name(), d.Addr(), kind)
+	}
+
+	// 4. Client audit (§3.3 "Auditable").
+	auditor := dep.AuditClient()
+	defer auditor.Close()
+	report, err := auditor.Audit()
+	if err != nil {
+		log.Fatalf("audit: %v", err)
+	}
+	if !report.Consistent {
+		log.Fatalf("audit found inconsistencies: %v", report.Findings)
+	}
+	published := blsapp.Module().Digest()
+	if !report.ExpectedDigest(published) {
+		log.Fatalf("deployment does not run the published code")
+	}
+	fmt.Printf("audit: all %d domains attest to the published code digest %x...\n",
+		len(report.Domains), published[:6])
+
+	// 5. Threshold-sign across the trust domains.
+	msg := []byte("transfer 3 BTC to cold storage")
+	sig, err := blsapp.ThresholdSign(dep, tk, msg)
+	if err != nil {
+		log.Fatalf("threshold sign: %v", err)
+	}
+	if !bls.Verify(&tk.GroupKey, msg, sig) {
+		log.Fatal("signature did not verify (bug)")
+	}
+	sb := sig.Bytes()
+	fmt.Printf("threshold signature over %q: %x...\n", msg, sb[:12])
+	fmt.Println("verified under the group public key — no single domain ever held the signing key")
+}

@@ -1,0 +1,237 @@
+package aolog
+
+import (
+	"crypto/sha256"
+	"fmt"
+)
+
+// MerkleLog is an append-only Merkle tree over entry payloads in the style
+// of RFC 6962 (Certificate Transparency): it supports inclusion proofs
+// ("entry i is in the tree of size n") and consistency proofs ("the tree of
+// size m is a prefix of the tree of size n"). The zero value is an empty
+// log. Not safe for concurrent use.
+type MerkleLog struct {
+	leaves []Digest
+	raw    [][]byte
+}
+
+// Len returns the number of leaves.
+func (m *MerkleLog) Len() int { return len(m.leaves) }
+
+// Append adds an entry payload and returns its index.
+func (m *MerkleLog) Append(payload []byte) int {
+	cp := append([]byte{}, payload...)
+	m.raw = append(m.raw, cp)
+	m.leaves = append(m.leaves, leafHash(cp))
+	return len(m.leaves) - 1
+}
+
+// Root returns the Merkle root of the current tree. The empty tree has the
+// hash of the empty string as root (RFC 6962 §2.1).
+func (m *MerkleLog) Root() Digest {
+	return subtreeRoot(m.leaves)
+}
+
+// RootAt returns the root of the first n leaves.
+func (m *MerkleLog) RootAt(n int) (Digest, error) {
+	if n < 0 || n > len(m.leaves) {
+		return Digest{}, fmt.Errorf("aolog: tree size %d out of range", n)
+	}
+	return subtreeRoot(m.leaves[:n]), nil
+}
+
+// Entry returns the raw payload at index i.
+func (m *MerkleLog) Entry(i int) ([]byte, error) {
+	if i < 0 || i >= len(m.raw) {
+		return nil, fmt.Errorf("aolog: entry index %d out of range", i)
+	}
+	return append([]byte{}, m.raw[i]...), nil
+}
+
+// subtreeRoot computes the RFC 6962 Merkle tree hash of the given leaves.
+func subtreeRoot(leaves []Digest) Digest {
+	switch len(leaves) {
+	case 0:
+		return leafEmptyRoot()
+	case 1:
+		return leaves[0]
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	return nodeHash(subtreeRoot(leaves[:k]), subtreeRoot(leaves[k:]))
+}
+
+func leafEmptyRoot() Digest {
+	// SHA-256 of the empty string.
+	return leafEmpty
+}
+
+var leafEmpty = func() Digest {
+	var d Digest
+	h := sha256.New()
+	copy(d[:], h.Sum(nil))
+	return d
+}()
+
+// largestPowerOfTwoBelow returns the largest power of two strictly less
+// than n (n >= 2).
+func largestPowerOfTwoBelow(n int) int {
+	k := 1
+	for k*2 < n {
+		k *= 2
+	}
+	return k
+}
+
+// InclusionProof is an audit path proving a leaf is in a tree of a given
+// size.
+type InclusionProof struct {
+	LeafIndex int
+	TreeSize  int
+	Path      []Digest
+}
+
+// ProveInclusion builds the audit path for leaf i in the tree of size n.
+func (m *MerkleLog) ProveInclusion(i, n int) (*InclusionProof, error) {
+	if n < 1 || n > len(m.leaves) {
+		return nil, fmt.Errorf("aolog: tree size %d out of range", n)
+	}
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("aolog: leaf index %d out of range for size %d", i, n)
+	}
+	path := inclusionPath(m.leaves[:n], i)
+	return &InclusionProof{LeafIndex: i, TreeSize: n, Path: path}, nil
+}
+
+func inclusionPath(leaves []Digest, i int) []Digest {
+	if len(leaves) <= 1 {
+		return nil
+	}
+	k := largestPowerOfTwoBelow(len(leaves))
+	if i < k {
+		return append(inclusionPath(leaves[:k], i), subtreeRoot(leaves[k:]))
+	}
+	return append(inclusionPath(leaves[k:], i-k), subtreeRoot(leaves[:k]))
+}
+
+// VerifyInclusion checks an inclusion proof for entry payload against root.
+func VerifyInclusion(payload []byte, proof *InclusionProof, root Digest) bool {
+	if proof == nil || proof.LeafIndex < 0 || proof.LeafIndex >= proof.TreeSize {
+		return false
+	}
+	h := leafHash(payload)
+	got, ok := inclusionRoot(h, proof.LeafIndex, proof.TreeSize, proof.Path)
+	return ok && got == root
+}
+
+// inclusionRoot mirrors inclusionPath: the prover appends siblings on the
+// way out of the recursion, so the verifier consumes them from the end.
+func inclusionRoot(h Digest, idx, size int, path []Digest) (Digest, bool) {
+	if size == 1 {
+		if len(path) != 0 {
+			return Digest{}, false
+		}
+		return h, true
+	}
+	if len(path) == 0 {
+		return Digest{}, false
+	}
+	sib := path[len(path)-1]
+	rest := path[:len(path)-1]
+	k := largestPowerOfTwoBelow(size)
+	if idx < k {
+		sub, ok := inclusionRoot(h, idx, k, rest)
+		if !ok {
+			return Digest{}, false
+		}
+		return nodeHash(sub, sib), true
+	}
+	sub, ok := inclusionRoot(h, idx-k, size-k, rest)
+	if !ok {
+		return Digest{}, false
+	}
+	return nodeHash(sib, sub), true
+}
+
+// ConsistencyProof proves that the tree of size OldSize is a prefix of the
+// tree of size NewSize.
+type ConsistencyProof struct {
+	OldSize, NewSize int
+	Path             []Digest
+}
+
+// ProveConsistency builds a consistency proof between sizes m0 and n.
+func (m *MerkleLog) ProveConsistency(m0, n int) (*ConsistencyProof, error) {
+	if m0 < 1 || n < m0 || n > len(m.leaves) {
+		return nil, fmt.Errorf("aolog: invalid consistency range %d..%d", m0, n)
+	}
+	path := consistencyPath(m.leaves[:n], m0, true)
+	return &ConsistencyProof{OldSize: m0, NewSize: n, Path: path}, nil
+}
+
+// consistencyPath follows RFC 6962 §2.1.2. flag indicates whether the old
+// subtree is still a "complete" node of the current traversal.
+func consistencyPath(leaves []Digest, m0 int, flag bool) []Digest {
+	n := len(leaves)
+	if m0 == n {
+		if flag {
+			return nil
+		}
+		return []Digest{subtreeRoot(leaves)}
+	}
+	k := largestPowerOfTwoBelow(n)
+	if m0 <= k {
+		path := consistencyPath(leaves[:k], m0, flag)
+		return append(path, subtreeRoot(leaves[k:]))
+	}
+	path := consistencyPath(leaves[k:], m0-k, false)
+	return append(path, subtreeRoot(leaves[:k]))
+}
+
+// VerifyConsistency checks that newRoot's tree extends oldRoot's tree.
+func VerifyConsistency(oldRoot, newRoot Digest, proof *ConsistencyProof) bool {
+	if proof == nil || proof.OldSize < 1 || proof.NewSize < proof.OldSize {
+		return false
+	}
+	if proof.OldSize == proof.NewSize {
+		return oldRoot == newRoot && len(proof.Path) == 0
+	}
+	// Reconstruct both roots from the proof, mirroring consistencyPath.
+	or, nr, ok := runConsistency(proof.NewSize, proof.OldSize, true, proof.Path, oldRoot)
+	return ok && or == oldRoot && nr == newRoot
+}
+
+// runConsistency replays the recursion of consistencyPath, consuming the
+// proof path from the end (the recursion appends on the way out).
+func runConsistency(n, m0 int, flag bool, path []Digest, oldRoot Digest) (Digest, Digest, bool) {
+	if m0 == n {
+		if flag {
+			// Old subtree root is known to the verifier.
+			return oldRoot, oldRoot, true
+		}
+		if len(path) != 1 {
+			return Digest{}, Digest{}, false
+		}
+		return path[0], path[0], true
+	}
+	if len(path) == 0 {
+		return Digest{}, Digest{}, false
+	}
+	sib := path[len(path)-1]
+	rest := path[:len(path)-1]
+	k := largestPowerOfTwoBelow(n)
+	if m0 <= k {
+		or, nr, ok := runConsistency(k, m0, flag, rest, oldRoot)
+		if !ok {
+			return Digest{}, Digest{}, false
+		}
+		// Old tree does not include the right sibling when m0 == k is false;
+		// per RFC 6962 the old root only includes it if m0 == k... old root
+		// never includes leaves beyond m0, and m0 <= k here, so:
+		return or, nodeHash(nr, sib), true
+	}
+	or, nr, ok := runConsistency(n-k, m0-k, false, rest, oldRoot)
+	if !ok {
+		return Digest{}, Digest{}, false
+	}
+	return nodeHash(sib, or), nodeHash(sib, nr), true
+}

@@ -1,0 +1,388 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/domain"
+	"repro/internal/framework"
+	"repro/internal/sandbox"
+	"repro/internal/tee"
+)
+
+const echoAppSrc = `
+module memory=135168
+func handle params=2 locals=1 results=1
+    push 0
+    localset 2
+loop:
+    localget 2
+    localget 1
+    ges
+    brif done
+    localget 2
+    push 69632
+    add
+    localget 0
+    localget 2
+    add
+    load8
+    store8
+    localget 2
+    push 1
+    add
+    localset 2
+    br loop
+done:
+    localget 1
+    ret
+end
+`
+
+// testDeployment wires two TEE domains plus trust domain 0 directly (the
+// core package has its own tests; this keeps audit tests self-contained).
+type testDeployment struct {
+	dev         *framework.Developer
+	domains     []*domain.Domain
+	params      Params
+	nitroVendor *tee.Vendor
+}
+
+func newTestDeployment(t *testing.T) *testDeployment {
+	t.Helper()
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	vendors, roots, err := tee.NewSimulatedEcosystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := &testDeployment{
+		dev: dev,
+		params: Params{
+			Roots:       roots,
+			Measurement: framework.Measure(dev.PublicKey()),
+		},
+	}
+	td.nitroVendor = vendors[tee.VendorSimNitro]
+	mb := sandbox.MustAssemble(echoAppSrc).Encode()
+	sig := dev.SignUpdate(1, mb)
+	vendorList := []*tee.Vendor{nil, vendors[tee.VendorSimSGX], vendors[tee.VendorSimNitro]}
+	for i, v := range vendorList {
+		d, err := domain.Start(domain.Config{
+			Name:         name(i),
+			Vendor:       v,
+			DeveloperKey: dev.PublicKey(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { d.Close() })
+		if err := d.Install(1, mb, sig); err != nil {
+			t.Fatal(err)
+		}
+		td.domains = append(td.domains, d)
+		td.params.Domains = append(td.params.Domains, DomainInfo{
+			Name:    d.Name(),
+			Addr:    d.Addr(),
+			HasTEE:  d.HasTEE(),
+			HostKey: d.HostKey(),
+		})
+	}
+	return td
+}
+
+func name(i int) string {
+	return map[int]string{0: "domain-0", 1: "domain-1", 2: "domain-2"}[i]
+}
+
+func TestAuditConsistentDeployment(t *testing.T) {
+	td := newTestDeployment(t)
+	c := NewClient(td.params)
+	defer c.Close()
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Consistent {
+		t.Fatalf("honest deployment flagged: %v", report.Findings)
+	}
+	if len(report.Domains) != 3 {
+		t.Fatalf("audited %d domains", len(report.Domains))
+	}
+	m := sandbox.MustAssemble(echoAppSrc)
+	if !report.ExpectedDigest(m.Digest()) {
+		t.Fatal("published module digest not recognized")
+	}
+	// Second audit (now with remembered state) is still clean.
+	report2, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report2.Consistent {
+		t.Fatalf("second audit flagged: %v", report2.Findings)
+	}
+}
+
+func TestAuditDetectsDivergentUpdate(t *testing.T) {
+	td := newTestDeployment(t)
+	// Update only domain-1: deployment now runs two different codes.
+	m2 := sandbox.MustAssemble(echoAppSrc)
+	m2.Functions[0].Code = append(m2.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	mb2 := m2.Encode()
+	if err := td.domains[1].Install(2, mb2, td.dev.SignUpdate(2, mb2)); err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(td.params)
+	defer c.Close()
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Consistent {
+		t.Fatal("divergent deployment passed audit")
+	}
+	var found bool
+	for i := range report.Proofs {
+		p := report.Proofs[i]
+		if p.Kind == MisbehaviorDigestDivergence || p.Kind == MisbehaviorHistoryDivergence {
+			found = true
+			// The proof must be verifiable by a third party with only
+			// public parameters.
+			if err := VerifyMisbehavior(&td.params, &p); err != nil {
+				t.Fatalf("divergence proof rejected: %v", err)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no divergence proof produced")
+	}
+}
+
+func TestAuditDetectsWrongMeasurement(t *testing.T) {
+	td := newTestDeployment(t)
+	// domain-2 is replaced by an impostor: right vendor hardware, wrong
+	// software (a framework bound to a different developer key, hence a
+	// different measurement).
+	vendors, _, _ := tee.NewSimulatedEcosystem()
+	_ = vendors
+	imp, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The impostor must still quote under a pinned vendor root, so reuse
+	// the deployment's vendor by provisioning through domain.Start with
+	// the impostor's key and splicing its address into the params.
+	v := vendorFromRoots(t, td)
+	rogue, err := domain.Start(domain.Config{
+		Name:         "domain-2",
+		Vendor:       v,
+		DeveloperKey: imp.PublicKey(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rogue.Close() })
+	mb := sandbox.MustAssemble(echoAppSrc).Encode()
+	if err := rogue.Install(1, mb, imp.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+	params := td.params
+	params.Domains = append([]DomainInfo{}, td.params.Domains...)
+	params.Domains[2].Addr = rogue.Addr()
+
+	c := NewClient(params)
+	defer c.Close()
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Consistent {
+		t.Fatal("impostor domain passed audit")
+	}
+	var proof *Misbehavior
+	for i := range report.Proofs {
+		if report.Proofs[i].Kind == MisbehaviorWrongMeasurement {
+			proof = &report.Proofs[i]
+		}
+	}
+	if proof == nil {
+		t.Fatal("no wrong-measurement proof produced")
+	}
+	if err := VerifyMisbehavior(&params, proof); err != nil {
+		t.Fatalf("measurement proof rejected: %v", err)
+	}
+	// The same proof must NOT verify against a deployment whose expected
+	// measurement matches the impostor (no false accusations).
+	otherParams := params
+	otherParams.Measurement = framework.Measure(imp.PublicKey())
+	if err := VerifyMisbehavior(&otherParams, proof); err == nil {
+		t.Fatal("proof verified against matching measurement")
+	}
+}
+
+// vendorFromRoots creates a domain-2-compatible vendor: the deployment's
+// params pin root keys, so the rogue must be provisioned by the very same
+// vendor object. We reach it via the original deployment construction.
+func vendorFromRoots(t *testing.T, td *testDeployment) *tee.Vendor {
+	t.Helper()
+	// Rebuild: newTestDeployment used VendorSimNitro for domain-2. We
+	// cannot extract the vendor from the domain, so newTestDeployment
+	// stores it... simplest: re-provision through the same vendor object
+	// kept on the deployment.
+	return td.nitroVendor
+}
+
+func TestEquivocationProofLifecycle(t *testing.T) {
+	// An "enclave reuse" attack: in the simulation the operator runs two
+	// framework instances against one enclave and serves whichever suits
+	// it. Two attested statuses at the same counter/log length with
+	// different heads are a publicly verifiable equivocation proof.
+	dev, _ := framework.NewDeveloper()
+	v, _ := tee.NewVendor(tee.VendorSimKeystone)
+	roots := tee.RootSet{tee.VendorSimKeystone: v.RootKey()}
+	enclave, err := v.Provision("shared-host", framework.Measure(dev.PublicKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwA, err := framework.New(dev.PublicKey(), enclave, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fwB, err := framework.New(dev.PublicKey(), enclave, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbA := sandbox.MustAssemble(echoAppSrc).Encode()
+	mB := sandbox.MustAssemble(echoAppSrc)
+	mB.Functions[0].Code = append(mB.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	mbB := mB.Encode()
+	if err := fwA.Install(1, mbA, dev.SignUpdate(1, mbA)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fwB.Install(1, mbB, dev.SignUpdate(1, mbB)); err != nil {
+		t.Fatal(err)
+	}
+
+	params := Params{
+		Roots:       roots,
+		Measurement: framework.Measure(dev.PublicKey()),
+		Domains:     []DomainInfo{{Name: "evil", HasTEE: true}},
+	}
+	nonceA := []byte("nonce-A")
+	asA := fwA.AttestedStatus(nonceA)
+	nonceB := []byte("nonce-B")
+	asB := fwB.AttestedStatus(nonceB)
+	envA := &AttestedStatusEnvelope{Nonce: nonceA, Resp: domain.StatusResponse{Domain: "evil", Status: asA.Status, Quote: asA.Quote}}
+	envB := &AttestedStatusEnvelope{Nonce: nonceB, Resp: domain.StatusResponse{Domain: "evil", Status: asB.Status, Quote: asB.Quote}}
+
+	if asA.Status.LogLen != asB.Status.LogLen {
+		t.Fatal("setup: log lengths differ")
+	}
+	proof := &Misbehavior{Kind: MisbehaviorEquivocation, Domain: "evil", StatusA: envA, StatusB: envB}
+	if err := VerifyMisbehavior(&params, proof); err != nil {
+		t.Fatalf("valid equivocation proof rejected: %v", err)
+	}
+	// Same status twice: no equivocation.
+	bad := &Misbehavior{Kind: MisbehaviorEquivocation, Domain: "evil", StatusA: envA, StatusB: envA}
+	if err := VerifyMisbehavior(&params, bad); err == nil {
+		t.Fatal("identical statuses accepted as equivocation")
+	}
+}
+
+func TestRollbackProofViaCounter(t *testing.T) {
+	// Rollback attack: the operator discards the framework state and
+	// reinstalls from scratch. The enclave's monotonic counter still
+	// advances, so (higher counter, shorter log) is attributable.
+	dev, _ := framework.NewDeveloper()
+	v, _ := tee.NewVendor(tee.VendorSimSGX)
+	roots := tee.RootSet{tee.VendorSimSGX: v.RootKey()}
+	enclave, err := v.Provision("host", framework.Measure(dev.PublicKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := Params{
+		Roots:       roots,
+		Measurement: framework.Measure(dev.PublicKey()),
+		Domains:     []DomainInfo{{Name: "evil", HasTEE: true}},
+	}
+	mb := sandbox.MustAssemble(echoAppSrc).Encode()
+	m2 := sandbox.MustAssemble(echoAppSrc)
+	m2.Functions[0].Code = append(m2.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	mb2 := m2.Encode()
+
+	fw1, _ := framework.New(dev.PublicKey(), enclave, nil)
+	if err := fw1.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw1.Install(2, mb2, dev.SignUpdate(2, mb2)); err != nil {
+		t.Fatal(err)
+	}
+	nonce1 := []byte("before")
+	as1 := fw1.AttestedStatus(nonce1) // counter 2, loglen 2, version 2
+
+	// Operator wipes state and reinstalls v1.
+	fw2, _ := framework.New(dev.PublicKey(), enclave, nil)
+	if err := fw2.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+	nonce2 := []byte("after")
+	as2 := fw2.AttestedStatus(nonce2) // counter 3, loglen 1, version 1
+	if as2.Status.Counter <= as1.Status.Counter {
+		t.Fatal("setup: counter did not advance")
+	}
+
+	env1 := &AttestedStatusEnvelope{Nonce: nonce1, Resp: domain.StatusResponse{Domain: "evil", Status: as1.Status, Quote: as1.Quote}}
+	env2 := &AttestedStatusEnvelope{Nonce: nonce2, Resp: domain.StatusResponse{Domain: "evil", Status: as2.Status, Quote: as2.Quote}}
+	proof := &Misbehavior{Kind: MisbehaviorRollback, Domain: "evil", StatusA: env1, StatusB: env2}
+	if err := VerifyMisbehavior(&params, proof); err != nil {
+		t.Fatalf("rollback proof rejected: %v", err)
+	}
+	// An honest pair (extension) must not verify as rollback.
+	honest := &Misbehavior{Kind: MisbehaviorRollback, Domain: "evil", StatusA: env1, StatusB: env1}
+	if err := VerifyMisbehavior(&params, honest); err == nil {
+		t.Fatal("identical statuses accepted as rollback")
+	}
+}
+
+func TestBadHistoryProof(t *testing.T) {
+	td := newTestDeployment(t)
+	c := NewClient(td.params)
+	defer c.Close()
+	st, err := c.FetchStatus("domain-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist, err := c.FetchHistory("domain-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Honest pair: proof must NOT verify.
+	notProof := &Misbehavior{Kind: MisbehaviorBadHistory, Domain: "domain-1", StatusA: st, HistoryA: hist}
+	if err := VerifyMisbehavior(&td.params, notProof); err == nil {
+		t.Fatal("honest history accepted as misbehavior")
+	}
+	// Tampered history: envelope authentication fails, so the proof is
+	// invalid for a different reason (cannot frame a domain by mutating
+	// its records).
+	tampered := *hist
+	tampered.Resp.Records = append([][]byte{}, hist.Resp.Records...)
+	tampered.Resp.Records[0] = []byte("forged")
+	framed := &Misbehavior{Kind: MisbehaviorBadHistory, Domain: "domain-1", StatusA: st, HistoryA: &tampered}
+	if err := VerifyMisbehavior(&td.params, framed); err == nil {
+		t.Fatal("forged history records framed an honest domain")
+	}
+}
+
+func TestVerifyMisbehaviorRejectsMalformed(t *testing.T) {
+	td := newTestDeployment(t)
+	if err := VerifyMisbehavior(&td.params, nil); err == nil {
+		t.Fatal("nil proof accepted")
+	}
+	if err := VerifyMisbehavior(&td.params, &Misbehavior{Kind: "bogus"}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if err := VerifyMisbehavior(&td.params, &Misbehavior{Kind: MisbehaviorEquivocation, Domain: "domain-1"}); err == nil {
+		t.Fatal("empty equivocation proof accepted")
+	}
+}

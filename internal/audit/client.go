@@ -1,0 +1,434 @@
+// Package audit implements the paper's client-side guarantee (§3.3
+// "Auditable"): a client queries every trust domain for an attested code
+// digest and digest history, cross-checks them, and — when domains
+// disagree or a domain contradicts itself — produces a publicly
+// verifiable proof of misbehavior that any third party can check with
+// only the deployment's public parameters (vendor roots, framework
+// measurement, domain-0 host key).
+package audit
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/aolog"
+	"repro/internal/domain"
+	"repro/internal/framework"
+	"repro/internal/tee"
+	"repro/internal/transport"
+)
+
+// DomainInfo is the client's pinned description of one trust domain.
+type DomainInfo struct {
+	Name    string
+	Addr    string
+	HasTEE  bool
+	HostKey ed25519.PublicKey // pinned for non-TEE domains
+}
+
+// Params are the public verification parameters of a deployment; they are
+// everything a third party needs to check misbehavior proofs.
+type Params struct {
+	Roots       tee.RootSet
+	Measurement tee.Measurement
+	Domains     []DomainInfo
+}
+
+// domainInfo finds a domain by name.
+func (p *Params) domainInfo(name string) (*DomainInfo, error) {
+	for i := range p.Domains {
+		if p.Domains[i].Name == name {
+			return &p.Domains[i], nil
+		}
+	}
+	return nil, fmt.Errorf("audit: unknown domain %q", name)
+}
+
+// AttestedStatusEnvelope packages a status response with the nonce the
+// client chose, making the response independently re-verifiable.
+type AttestedStatusEnvelope struct {
+	Nonce []byte                `json:"nonce"`
+	Resp  domain.StatusResponse `json:"resp"`
+}
+
+// AttestedHistoryEnvelope packages a history response with its nonce.
+type AttestedHistoryEnvelope struct {
+	Nonce []byte                 `json:"nonce"`
+	Resp  domain.HistoryResponse `json:"resp"`
+}
+
+// VerifyStatusEnvelope checks the authenticity of an attested status:
+// quote chain and measurement for TEE domains, pinned host key for
+// domain 0, and the binding of the status to the nonce.
+func VerifyStatusEnvelope(p *Params, env *AttestedStatusEnvelope) error {
+	info, err := p.domainInfo(env.Resp.Domain)
+	if err != nil {
+		return err
+	}
+	rd := framework.StatusReportData(env.Nonce, &env.Resp.Status)
+	if info.HasTEE {
+		if env.Resp.Quote == nil {
+			return fmt.Errorf("audit: domain %s returned no quote", info.Name)
+		}
+		if err := tee.VerifyQuote(p.Roots, env.Resp.Quote); err != nil {
+			return fmt.Errorf("audit: domain %s quote: %w", info.Name, err)
+		}
+		if env.Resp.Quote.Measurement != p.Measurement {
+			return &MeasurementError{Domain: info.Name}
+		}
+		if env.Resp.Quote.ReportData != rd {
+			return fmt.Errorf("audit: domain %s quote does not bind status/nonce", info.Name)
+		}
+		return nil
+	}
+	if !bytes.Equal(env.Resp.HostKey, info.HostKey) {
+		return fmt.Errorf("audit: domain %s host key mismatch", info.Name)
+	}
+	if !ed25519.Verify(info.HostKey, rd[:], env.Resp.HostSig) {
+		return fmt.Errorf("audit: domain %s host signature invalid", info.Name)
+	}
+	return nil
+}
+
+// MeasurementError distinguishes "valid quote, wrong code" — which is an
+// attributable proof of misbehavior — from mere verification failures.
+type MeasurementError struct{ Domain string }
+
+func (e *MeasurementError) Error() string {
+	return fmt.Sprintf("audit: domain %s attests to an unexpected measurement", e.Domain)
+}
+
+// VerifyHistoryEnvelope checks the authenticity of a history response.
+func VerifyHistoryEnvelope(p *Params, env *AttestedHistoryEnvelope) error {
+	info, err := p.domainInfo(env.Resp.Domain)
+	if err != nil {
+		return err
+	}
+	binding := domain.HistoryBinding(env.Resp.Records, env.Nonce)
+	if info.HasTEE {
+		if env.Resp.Quote == nil {
+			return fmt.Errorf("audit: domain %s history has no quote", info.Name)
+		}
+		if err := tee.VerifyQuote(p.Roots, env.Resp.Quote); err != nil {
+			return fmt.Errorf("audit: domain %s history quote: %w", info.Name, err)
+		}
+		if env.Resp.Quote.Measurement != p.Measurement {
+			return &MeasurementError{Domain: info.Name}
+		}
+		var rd [64]byte
+		copy(rd[:32], binding)
+		if env.Resp.Quote.ReportData != rd {
+			return fmt.Errorf("audit: domain %s history quote does not bind records/nonce", info.Name)
+		}
+		return nil
+	}
+	if !bytes.Equal(env.Resp.HostKey, info.HostKey) {
+		return fmt.Errorf("audit: domain %s host key mismatch", info.Name)
+	}
+	if !ed25519.Verify(info.HostKey, binding, env.Resp.HostSig) {
+		return fmt.Errorf("audit: domain %s history signature invalid", info.Name)
+	}
+	return nil
+}
+
+// DomainAudit is the audited state of one domain.
+type DomainAudit struct {
+	Info    DomainInfo
+	Status  AttestedStatusEnvelope
+	History AttestedHistoryEnvelope
+	// Records decoded from the history, oldest first.
+	Records []*framework.UpdateRecord
+}
+
+// Report is the outcome of auditing all domains.
+type Report struct {
+	Domains []DomainAudit
+	// Consistent is true when every check passed and all domains agree.
+	Consistent bool
+	// Findings lists human-readable inconsistencies.
+	Findings []string
+	// Proofs holds publicly verifiable misbehavior proofs extracted
+	// during the audit.
+	Proofs []Misbehavior
+}
+
+// CurrentDigest returns the agreed current code digest (only meaningful
+// when Consistent).
+func (r *Report) CurrentDigest() string {
+	if len(r.Domains) == 0 {
+		return ""
+	}
+	return r.Domains[0].Status.Resp.Status.CurrentDigest
+}
+
+// Client audits a deployment. It remembers the last attested status per
+// domain across audits so it can detect equivocation (a domain signing
+// two different heads for the same log length) and rollbacks.
+type Client struct {
+	params Params
+
+	mu    sync.Mutex
+	conns map[string]*transport.Client
+	last  map[string]AttestedStatusEnvelope
+}
+
+// NewClient creates an audit client for a deployment.
+func NewClient(params Params) *Client {
+	return &Client{
+		params: params,
+		conns:  make(map[string]*transport.Client),
+		last:   make(map[string]AttestedStatusEnvelope),
+	}
+}
+
+// Params returns the public verification parameters.
+func (c *Client) Params() Params { return c.params }
+
+// Close closes all cached connections.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, conn := range c.conns {
+		conn.Close()
+	}
+	c.conns = make(map[string]*transport.Client)
+}
+
+func (c *Client) conn(info *DomainInfo) (*transport.Client, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if conn, ok := c.conns[info.Name]; ok {
+		return conn, nil
+	}
+	conn, err := transport.Dial(info.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("audit: dialing domain %s: %w", info.Name, err)
+	}
+	c.conns[info.Name] = conn
+	return conn, nil
+}
+
+func newNonce() ([]byte, error) {
+	nonce := make([]byte, 32)
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, fmt.Errorf("audit: nonce: %w", err)
+	}
+	return nonce, nil
+}
+
+// FetchStatus retrieves and authenticates one domain's status.
+func (c *Client) FetchStatus(name string) (*AttestedStatusEnvelope, error) {
+	info, err := c.params.domainInfo(name)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.conn(info)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, err
+	}
+	var resp domain.StatusResponse
+	if err := conn.Call("status", domain.StatusRequest{Nonce: nonce}, &resp); err != nil {
+		return nil, fmt.Errorf("audit: status from %s: %w", name, err)
+	}
+	env := &AttestedStatusEnvelope{Nonce: nonce, Resp: resp}
+	if err := VerifyStatusEnvelope(&c.params, env); err != nil {
+		return env, err
+	}
+	return env, nil
+}
+
+// FetchHistory retrieves and authenticates one domain's history.
+func (c *Client) FetchHistory(name string) (*AttestedHistoryEnvelope, error) {
+	info, err := c.params.domainInfo(name)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := c.conn(info)
+	if err != nil {
+		return nil, err
+	}
+	nonce, err := newNonce()
+	if err != nil {
+		return nil, err
+	}
+	var resp domain.HistoryResponse
+	if err := conn.Call("history", domain.HistoryRequest{Nonce: nonce}, &resp); err != nil {
+		return nil, fmt.Errorf("audit: history from %s: %w", name, err)
+	}
+	env := &AttestedHistoryEnvelope{Nonce: nonce, Resp: resp}
+	if err := VerifyHistoryEnvelope(&c.params, env); err != nil {
+		return env, err
+	}
+	return env, nil
+}
+
+// Audit performs the full audit protocol against every domain.
+func (c *Client) Audit() (*Report, error) {
+	report := &Report{Consistent: true}
+	for i := range c.params.Domains {
+		info := c.params.Domains[i]
+		da := DomainAudit{Info: info}
+
+		stEnv, err := c.FetchStatus(info.Name)
+		if err != nil {
+			var me *MeasurementError
+			if errors.As(err, &me) && stEnv != nil {
+				report.Proofs = append(report.Proofs, Misbehavior{
+					Kind:    MisbehaviorWrongMeasurement,
+					Domain:  info.Name,
+					StatusA: stEnv,
+				})
+				report.Findings = append(report.Findings, err.Error())
+				report.Consistent = false
+				continue
+			}
+			return nil, err
+		}
+		da.Status = *stEnv
+
+		// Equivocation check against the previous audit of this domain.
+		c.mu.Lock()
+		prev, seen := c.last[info.Name]
+		c.mu.Unlock()
+		if seen {
+			ps, ns := prev.Resp.Status, stEnv.Resp.Status
+			switch {
+			case ns.LogLen == ps.LogLen && !bytes.Equal(ns.LogHead, ps.LogHead):
+				report.Proofs = append(report.Proofs, Misbehavior{
+					Kind:    MisbehaviorEquivocation,
+					Domain:  info.Name,
+					StatusA: &prev,
+					StatusB: stEnv,
+				})
+				report.Findings = append(report.Findings,
+					fmt.Sprintf("domain %s equivocated: two heads at log length %d", info.Name, ns.LogLen))
+				report.Consistent = false
+			case ns.LogLen < ps.LogLen || ns.Version < ps.Version:
+				report.Proofs = append(report.Proofs, Misbehavior{
+					Kind:    MisbehaviorRollback,
+					Domain:  info.Name,
+					StatusA: &prev,
+					StatusB: stEnv,
+				})
+				report.Findings = append(report.Findings,
+					fmt.Sprintf("domain %s rolled back (log %d->%d, version %d->%d)",
+						info.Name, ps.LogLen, ns.LogLen, ps.Version, ns.Version))
+				report.Consistent = false
+			}
+		}
+		c.mu.Lock()
+		c.last[info.Name] = *stEnv
+		c.mu.Unlock()
+
+		histEnv, err := c.FetchHistory(info.Name)
+		if err != nil {
+			return nil, err
+		}
+		da.History = *histEnv
+
+		// The attested history must hash-chain to the attested head.
+		var head aolog.Digest
+		copy(head[:], stEnv.Resp.Status.LogHead)
+		if len(histEnv.Resp.Records) != stEnv.Resp.Status.LogLen ||
+			!aolog.VerifyChain(histEnv.Resp.Records, head) {
+			report.Proofs = append(report.Proofs, Misbehavior{
+				Kind:     MisbehaviorBadHistory,
+				Domain:   info.Name,
+				StatusA:  stEnv,
+				HistoryA: histEnv,
+			})
+			report.Findings = append(report.Findings,
+				fmt.Sprintf("domain %s served a history inconsistent with its attested head", info.Name))
+			report.Consistent = false
+		}
+
+		for _, raw := range histEnv.Resp.Records {
+			rec, err := framework.DecodeRecord(raw)
+			if err != nil {
+				report.Findings = append(report.Findings,
+					fmt.Sprintf("domain %s history record undecodable: %v", info.Name, err))
+				report.Consistent = false
+				continue
+			}
+			da.Records = append(da.Records, rec)
+		}
+		// The current digest must be the latest logged digest.
+		if n := len(da.Records); n > 0 {
+			if da.Records[n-1].Digest != stEnv.Resp.Status.CurrentDigest {
+				report.Findings = append(report.Findings,
+					fmt.Sprintf("domain %s current digest not in log", info.Name))
+				report.Consistent = false
+			}
+		}
+		report.Domains = append(report.Domains, da)
+	}
+
+	// Cross-domain agreement (§3.3: "check that the digests match across
+	// all n trust domains").
+	for i := 1; i < len(report.Domains); i++ {
+		a, b := &report.Domains[0], &report.Domains[i]
+		sa, sb := a.Status.Resp.Status, b.Status.Resp.Status
+		if sa.CurrentDigest != sb.CurrentDigest || sa.Version != sb.Version {
+			report.Proofs = append(report.Proofs, Misbehavior{
+				Kind:    MisbehaviorDigestDivergence,
+				Domain:  a.Info.Name,
+				DomainB: b.Info.Name,
+				StatusA: &a.Status,
+				StatusB: &b.Status,
+			})
+			report.Findings = append(report.Findings,
+				fmt.Sprintf("domains %s and %s run different code (digest %s... vs %s...)",
+					a.Info.Name, b.Info.Name, clip(sa.CurrentDigest), clip(sb.CurrentDigest)))
+			report.Consistent = false
+		}
+		if !historiesAgree(a.Records, b.Records) {
+			report.Proofs = append(report.Proofs, Misbehavior{
+				Kind:     MisbehaviorHistoryDivergence,
+				Domain:   a.Info.Name,
+				DomainB:  b.Info.Name,
+				HistoryA: &a.History,
+				HistoryB: &b.History,
+			})
+			report.Findings = append(report.Findings,
+				fmt.Sprintf("domains %s and %s have diverging update histories", a.Info.Name, b.Info.Name))
+			report.Consistent = false
+		}
+	}
+	return report, nil
+}
+
+// historiesAgree compares (version, digest) sequences.
+func historiesAgree(a, b []*framework.UpdateRecord) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Version != b[i].Version || a[i].Digest != b[i].Digest {
+			return false
+		}
+	}
+	return true
+}
+
+func clip(s string) string {
+	if len(s) > 8 {
+		return s[:8]
+	}
+	return s
+}
+
+// ExpectedDigest is a convenience for clients who obtained the published
+// source: it reports whether the audited deployment runs the module with
+// the given digest.
+func (r *Report) ExpectedDigest(digest [32]byte) bool {
+	return r.Consistent && r.CurrentDigest() == hex.EncodeToString(digest[:])
+}

@@ -1,0 +1,180 @@
+package bls
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/bls12381"
+	"repro/internal/ff"
+)
+
+// Threshold key generation with a trusted dealer plus Feldman verifiable
+// secret sharing, so share holders (the trust domains) can verify their
+// shares against a public commitment without trusting the dealer blindly.
+
+// KeyShare is one trust domain's share of the group signing key.
+type KeyShare struct {
+	Index uint32 // 1-based Shamir evaluation point
+	Share ff.Fr  // f(Index)
+}
+
+// ThresholdKey is the public side of a threshold deployment.
+type ThresholdKey struct {
+	N          int                 // number of shares
+	T          int                 // threshold: T shares reconstruct
+	GroupKey   PublicKey           // f(0) * G2
+	ShareKeys  []PublicKey         // f(i) * G2 for i = 1..N (index i-1)
+	Commitment []bls12381.G2Affine // Feldman commitment: coeff_j * G2
+}
+
+// ThresholdKeyGen splits a fresh random signing key into n Shamir shares
+// with threshold t (any t reconstruct, t-1 reveal nothing). It returns the
+// public threshold key and the n key shares.
+func ThresholdKeyGen(t, n int) (*ThresholdKey, []KeyShare, error) {
+	if t < 1 || n < t {
+		return nil, nil, fmt.Errorf("bls: invalid threshold %d of %d", t, n)
+	}
+	// f(X) = a0 + a1 X + ... + a_{t-1} X^{t-1}, secret = a0.
+	coeffs := make([]ff.Fr, t)
+	for i := range coeffs {
+		c, err := ff.RandFrNonZero()
+		if err != nil {
+			return nil, nil, fmt.Errorf("bls: threshold keygen: %w", err)
+		}
+		coeffs[i] = c
+	}
+	return thresholdFromPolynomial(coeffs, n)
+}
+
+// thresholdFromPolynomial derives shares and commitments from explicit
+// polynomial coefficients (exported for deterministic tests via keygen).
+func thresholdFromPolynomial(coeffs []ff.Fr, n int) (*ThresholdKey, []KeyShare, error) {
+	t := len(coeffs)
+	shares := make([]KeyShare, n)
+	shareKeys := make([]PublicKey, n)
+	for i := 1; i <= n; i++ {
+		var x ff.Fr
+		x.SetUint64(uint64(i))
+		y := evalPoly(coeffs, &x)
+		shares[i-1] = KeyShare{Index: uint32(i), Share: y}
+		shareKeys[i-1] = PublicKey{p: bls12381.G2ScalarBaseMult(&y)}
+	}
+	commit := make([]bls12381.G2Affine, t)
+	for j := range coeffs {
+		commit[j] = bls12381.G2ScalarBaseMult(&coeffs[j])
+	}
+	tk := &ThresholdKey{
+		N:          n,
+		T:          t,
+		GroupKey:   PublicKey{p: bls12381.G2ScalarBaseMult(&coeffs[0])},
+		ShareKeys:  shareKeys,
+		Commitment: commit,
+	}
+	return tk, shares, nil
+}
+
+// evalPoly evaluates the polynomial with the given coefficients at x
+// (Horner's rule).
+func evalPoly(coeffs []ff.Fr, x *ff.Fr) ff.Fr {
+	var acc ff.Fr
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc.Mul(&acc, x)
+		acc.Add(&acc, &coeffs[i])
+	}
+	return acc
+}
+
+// VerifyShare checks a key share against the Feldman commitment:
+// share * G2 must equal sum_j Commitment[j] * index^j.
+func (tk *ThresholdKey) VerifyShare(ks *KeyShare) bool {
+	if ks.Index == 0 || int(ks.Index) > tk.N {
+		return false
+	}
+	lhs := bls12381.G2ScalarBaseMult(&ks.Share)
+
+	var x, xj ff.Fr
+	x.SetUint64(uint64(ks.Index))
+	xj.SetOne()
+	var acc bls12381.G2Jac
+	acc.SetInfinity()
+	for j := range tk.Commitment {
+		var cj bls12381.G2Jac
+		cj.FromAffine(&tk.Commitment[j])
+		var term bls12381.G2Jac
+		term.ScalarMult(&cj, &xj)
+		acc.Add(&acc, &term)
+		xj.Mul(&xj, &x)
+	}
+	rhs := acc.Affine()
+	return lhs.Equal(&rhs)
+}
+
+// SignShare produces share index's partial signature on msg. This is the
+// exact operation Table 3 of the paper times.
+func (ks *KeyShare) SignShare(msg []byte) SignatureShare {
+	h := bls12381.HashToG1(msg, SignatureDST)
+	var j, out bls12381.G1Jac
+	j.FromAffine(&h)
+	out.ScalarMult(&j, &ks.Share)
+	return SignatureShare{Index: ks.Index, Sig: Signature{p: out.Affine()}}
+}
+
+// VerifyShareSignature checks a signature share against the matching share
+// public key from the threshold key.
+func (tk *ThresholdKey) VerifyShareSignature(msg []byte, ss *SignatureShare) bool {
+	if ss.Index == 0 || int(ss.Index) > tk.N {
+		return false
+	}
+	pk := tk.ShareKeys[ss.Index-1]
+	return Verify(&pk, msg, &ss.Sig)
+}
+
+// ThresholdSign is a convenience that signs msg with each of the provided
+// key shares and combines the first t valid shares into a group signature.
+func ThresholdSign(tk *ThresholdKey, shares []KeyShare, msg []byte) (*Signature, error) {
+	if len(shares) < tk.T {
+		return nil, errors.New("bls: not enough key shares")
+	}
+	sigShares := make([]SignatureShare, 0, len(shares))
+	for i := range shares {
+		ss := shares[i].SignShare(msg)
+		if !tk.VerifyShareSignature(msg, &ss) {
+			continue
+		}
+		sigShares = append(sigShares, ss)
+		if len(sigShares) == tk.T {
+			break
+		}
+	}
+	if len(sigShares) < tk.T {
+		return nil, errors.New("bls: not enough valid signature shares")
+	}
+	return CombineShares(sigShares, tk.T)
+}
+
+// RecoverSecret reconstructs the group secret from any t key shares.
+// Provided for the key-backup application; signing deployments never need
+// to reassemble the key.
+func RecoverSecret(shares []KeyShare, t int) (*SecretKey, error) {
+	if len(shares) < t {
+		return nil, fmt.Errorf("bls: need %d shares to recover, have %d", t, len(shares))
+	}
+	xs := make([]uint32, t)
+	for i := 0; i < t; i++ {
+		if shares[i].Index == 0 {
+			return nil, errors.New("bls: share index 0 is reserved")
+		}
+		xs[i] = shares[i].Index
+	}
+	var acc ff.Fr
+	for i := 0; i < t; i++ {
+		li, err := lagrangeCoefficient(i, xs)
+		if err != nil {
+			return nil, err
+		}
+		var term ff.Fr
+		term.Mul(&li, &shares[i].Share)
+		acc.Add(&acc, &term)
+	}
+	return SecretKeyFromScalar(&acc)
+}

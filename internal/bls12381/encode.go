@@ -1,0 +1,173 @@
+package bls12381
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/ff"
+)
+
+// Point compression. The format follows the spirit of the common zcash
+// encoding: the 3 most significant bits of the first byte are flags.
+//
+//	bit 7: compression flag, always 1 in this library
+//	bit 6: infinity flag; if set, the remaining bytes must be zero
+//	bit 5: y-parity flag (parity of the canonical y value; for G2, parity
+//	       of y.C0, falling back to y.C1 when y.C0 is zero)
+//
+// The parity-based sign differs from zcash's lexicographic convention, so
+// encodings are canonical and self-consistent within this library but not
+// byte-compatible with other BLS12-381 stacks. DESIGN.md records this.
+
+const (
+	// G1CompressedSize is the byte length of a compressed G1 point.
+	G1CompressedSize = 48
+	// G2CompressedSize is the byte length of a compressed G2 point.
+	G2CompressedSize = 96
+
+	flagCompressed = 0x80
+	flagInfinity   = 0x40
+	flagYOdd       = 0x20
+	flagMask       = 0xe0
+)
+
+// Bytes returns the compressed encoding of p.
+func (p *G1Affine) Bytes() [G1CompressedSize]byte {
+	var out [G1CompressedSize]byte
+	if p.Infinity {
+		out[0] = flagCompressed | flagInfinity
+		return out
+	}
+	xb := p.X.Bytes()
+	copy(out[:], xb[:])
+	out[0] |= flagCompressed
+	if p.Y.Sign() == 1 {
+		out[0] |= flagYOdd
+	}
+	return out
+}
+
+// SetBytes decodes a compressed G1 point, verifying that it is on the curve
+// and in the order-r subgroup.
+func (p *G1Affine) SetBytes(in []byte) error {
+	if len(in) != G1CompressedSize {
+		return fmt.Errorf("bls12381: G1 encoding must be %d bytes, got %d", G1CompressedSize, len(in))
+	}
+	flags := in[0] & flagMask
+	if flags&flagCompressed == 0 {
+		return errors.New("bls12381: uncompressed G1 encodings unsupported")
+	}
+	if flags&flagInfinity != 0 {
+		for i, b := range in {
+			if i == 0 {
+				b &^= flagMask
+			}
+			if b != 0 {
+				return errors.New("bls12381: nonzero bytes in infinity encoding")
+			}
+		}
+		*p = G1Affine{Infinity: true}
+		return nil
+	}
+	var xb [G1CompressedSize]byte
+	copy(xb[:], in)
+	xb[0] &^= flagMask
+	var x ff.Fp
+	if err := x.SetBytes(xb[:]); err != nil {
+		return fmt.Errorf("bls12381: G1 x coordinate: %w", err)
+	}
+	var y2, y ff.Fp
+	y2.Square(&x)
+	y2.Mul(&y2, &x)
+	y2.Add(&y2, &g1B)
+	if _, ok := y.Sqrt(&y2); !ok {
+		return errors.New("bls12381: G1 x coordinate not on curve")
+	}
+	wantOdd := flags&flagYOdd != 0
+	if (y.Sign() == 1) != wantOdd {
+		y.Neg(&y)
+	}
+	cand := G1Affine{X: x, Y: y}
+	if !cand.IsInSubgroup() {
+		return errors.New("bls12381: G1 point not in prime-order subgroup")
+	}
+	*p = cand
+	return nil
+}
+
+// Bytes returns the compressed encoding of p: flags || x.C1 || x.C0.
+func (p *G2Affine) Bytes() [G2CompressedSize]byte {
+	var out [G2CompressedSize]byte
+	if p.Infinity {
+		out[0] = flagCompressed | flagInfinity
+		return out
+	}
+	c1 := p.X.C1.Bytes()
+	c0 := p.X.C0.Bytes()
+	copy(out[:48], c1[:])
+	copy(out[48:], c0[:])
+	out[0] |= flagCompressed
+	if g2YParity(&p.Y) == 1 {
+		out[0] |= flagYOdd
+	}
+	return out
+}
+
+// g2YParity returns the parity bit used for G2 compression.
+func g2YParity(y *ff.Fp2) int {
+	if !y.C0.IsZero() {
+		return y.C0.Sign()
+	}
+	return y.C1.Sign()
+}
+
+// SetBytes decodes a compressed G2 point, verifying curve and subgroup
+// membership.
+func (p *G2Affine) SetBytes(in []byte) error {
+	if len(in) != G2CompressedSize {
+		return fmt.Errorf("bls12381: G2 encoding must be %d bytes, got %d", G2CompressedSize, len(in))
+	}
+	flags := in[0] & flagMask
+	if flags&flagCompressed == 0 {
+		return errors.New("bls12381: uncompressed G2 encodings unsupported")
+	}
+	if flags&flagInfinity != 0 {
+		for i, b := range in {
+			if i == 0 {
+				b &^= flagMask
+			}
+			if b != 0 {
+				return errors.New("bls12381: nonzero bytes in infinity encoding")
+			}
+		}
+		*p = G2Affine{Infinity: true}
+		return nil
+	}
+	var c1b [48]byte
+	copy(c1b[:], in[:48])
+	c1b[0] &^= flagMask
+	var x ff.Fp2
+	if err := x.C1.SetBytes(c1b[:]); err != nil {
+		return fmt.Errorf("bls12381: G2 x.c1: %w", err)
+	}
+	if err := x.C0.SetBytes(in[48:]); err != nil {
+		return fmt.Errorf("bls12381: G2 x.c0: %w", err)
+	}
+	var y2, y ff.Fp2
+	y2.Square(&x)
+	y2.Mul(&y2, &x)
+	y2.Add(&y2, &g2B)
+	if _, ok := y.Sqrt(&y2); !ok {
+		return errors.New("bls12381: G2 x coordinate not on twist")
+	}
+	wantOdd := flags&flagYOdd != 0
+	if (g2YParity(&y) == 1) != wantOdd {
+		y.Neg(&y)
+	}
+	cand := G2Affine{X: x, Y: y}
+	if !cand.IsInSubgroup() {
+		return errors.New("bls12381: G2 point not in prime-order subgroup")
+	}
+	*p = cand
+	return nil
+}

@@ -1,0 +1,94 @@
+package bls12381
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math/big"
+
+	"repro/internal/ff"
+)
+
+// HashToG1 hashes an arbitrary message into the order-r subgroup of G1
+// using domain separation tag dst.
+//
+// The construction is try-and-increment followed by cofactor clearing:
+// deterministic, uniform enough for the signature scheme in this
+// reproduction, but NOT the RFC 9380 simplified-SWU map and NOT
+// constant-time. The paper's prototype (libBLS) similarly predates RFC 9380.
+func HashToG1(msg []byte, dst []byte) G1Affine {
+	for ctr := uint32(0); ctr < 65536; ctr++ {
+		x, signBit := hashToFieldAttempt(msg, dst, ctr)
+		// y^2 = x^3 + 4
+		var y2, y ff.Fp
+		y2.Square(&x)
+		y2.Mul(&y2, &x)
+		y2.Add(&y2, &g1B)
+		if _, ok := y.Sqrt(&y2); !ok {
+			continue
+		}
+		if y.Sign() != signBit {
+			y.Neg(&y)
+		}
+		p := G1Affine{X: x, Y: y}
+		out := G1ClearCofactor(&p)
+		if out.Infinity {
+			continue
+		}
+		return out
+	}
+	// Unreachable in practice: each attempt succeeds with probability ~1/2.
+	panic("bls12381: hash-to-curve failed after 2^16 attempts")
+}
+
+// hashToFieldAttempt derives (x, signBit) for attempt ctr. It expands the
+// hash to 64 bytes (two SHA-256 blocks) so the reduction mod p has
+// negligible bias.
+func hashToFieldAttempt(msg, dst []byte, ctr uint32) (ff.Fp, int) {
+	var ctrBuf [4]byte
+	binary.BigEndian.PutUint32(ctrBuf[:], ctr)
+
+	h1 := sha256.New()
+	h1.Write([]byte("BLS12381G1-TAI-0"))
+	h1.Write(lengthPrefixed(dst))
+	h1.Write(lengthPrefixed(msg))
+	h1.Write(ctrBuf[:])
+	d1 := h1.Sum(nil)
+
+	h2 := sha256.New()
+	h2.Write([]byte("BLS12381G1-TAI-1"))
+	h2.Write(d1)
+	d2 := h2.Sum(nil)
+
+	wide := append(d1, d2...)
+	v := new(big.Int).SetBytes(wide)
+	var x ff.Fp
+	x.SetBig(v)
+	signBit := int(d2[31] & 1)
+	return x, signBit
+}
+
+// lengthPrefixed returns a 4-byte big-endian length followed by b, so
+// (dst, msg) pairs cannot collide across different boundaries.
+func lengthPrefixed(b []byte) []byte {
+	out := make([]byte, 4+len(b))
+	binary.BigEndian.PutUint32(out, uint32(len(b)))
+	copy(out[4:], b)
+	return out
+}
+
+// HashToFr hashes arbitrary bytes to a scalar, for challenge derivation.
+func HashToFr(domain string, parts ...[]byte) ff.Fr {
+	h := sha256.New()
+	h.Write([]byte(domain))
+	for _, p := range parts {
+		h.Write(lengthPrefixed(p))
+	}
+	d1 := h.Sum(nil)
+	h2 := sha256.New()
+	h2.Write([]byte(domain + "/2"))
+	h2.Write(d1)
+	d2 := h2.Sum(nil)
+	var z ff.Fr
+	z.SetBytesWide(append(d1, d2...))
+	return z
+}

@@ -1,0 +1,157 @@
+package blsapp
+
+import (
+	"testing"
+
+	"repro/internal/bls"
+	"repro/internal/framework"
+)
+
+func newAppFramework(t *testing.T, ks *bls.KeyShare) (*framework.Framework, *framework.Developer) {
+	t.Helper()
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := framework.New(dev.PublicKey(), nil, Hosts(ks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := ModuleBytes()
+	if err := f.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+	return f, dev
+}
+
+func TestModuleDeterministic(t *testing.T) {
+	if Module().Digest() != Module().Digest() {
+		t.Fatal("module digest not deterministic")
+	}
+}
+
+func TestSignShareThroughSandbox(t *testing.T) {
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := newAppFramework(t, &shares[0])
+	msg := []byte("message to sign through the sandbox")
+	resp, err := f.Invoke(EncodeSignRequest(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := DecodeSignResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ss.Index != 1 {
+		t.Fatalf("share index %d, want 1", ss.Index)
+	}
+	if !tk.VerifyShareSignature(msg, ss) {
+		t.Fatal("sandboxed share signature invalid")
+	}
+	// Must match a native share signature bit for bit (BLS determinism).
+	native := shares[0].SignShare(msg)
+	if !ss.Sig.Equal(&native.Sig) {
+		t.Fatal("sandboxed and native shares differ")
+	}
+}
+
+func TestBadRequestsRejected(t *testing.T) {
+	_, shares, _ := bls.ThresholdKeyGen(2, 3)
+	f, _ := newAppFramework(t, &shares[0])
+	// Unknown opcode -> empty response -> decode error.
+	resp, err := f.Invoke([]byte{99, 1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSignResponse(resp); err == nil {
+		t.Fatal("bad opcode produced a share")
+	}
+	// Too-short request.
+	resp, err = f.Invoke([]byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSignResponse(resp); err == nil {
+		t.Fatal("empty message produced a share")
+	}
+	// Garbage response length.
+	if _, err := DecodeSignResponse(make([]byte, 13)); err == nil {
+		t.Fatal("bad response length accepted")
+	}
+}
+
+// memInvoker adapts a set of in-process frameworks to the Invoker
+// interface for threshold-signing tests without sockets.
+type memInvoker struct {
+	fws  []*framework.Framework
+	fail map[int]bool
+}
+
+func (m *memInvoker) Invoke(i int, req []byte) ([]byte, error) {
+	if m.fail[i] {
+		return nil, errTestDown
+	}
+	return m.fws[i].Invoke(req)
+}
+
+func (m *memInvoker) NumDomains() int { return len(m.fws) }
+
+var errTestDown = &downError{}
+
+type downError struct{}
+
+func (*downError) Error() string { return "domain down" }
+
+func TestThresholdSignAcrossSandboxes(t *testing.T) {
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := &memInvoker{fail: map[int]bool{}}
+	for i := range shares {
+		f, _ := newAppFramework(t, &shares[i])
+		inv.fws = append(inv.fws, f)
+	}
+	msg := []byte("threshold over sandboxes")
+	sig, err := ThresholdSign(inv, tk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bls.Verify(&tk.GroupKey, msg, sig) {
+		t.Fatal("combined signature invalid")
+	}
+	// One domain down: still succeeds (2 of 3).
+	inv.fail[0] = true
+	sig2, err := ThresholdSign(inv, tk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sig.Equal(sig2) {
+		t.Fatal("threshold signature not unique across share subsets")
+	}
+	// Two domains down: fails.
+	inv.fail[1] = true
+	if _, err := ThresholdSign(inv, tk, msg); err == nil {
+		t.Fatal("signed with fewer than t domains")
+	}
+}
+
+func BenchmarkSignShareSandboxed(b *testing.B) {
+	_, shares, _ := bls.ThresholdKeyGen(2, 3)
+	dev, _ := framework.NewDeveloper()
+	f, _ := framework.New(dev.PublicKey(), nil, Hosts(&shares[0]))
+	mb := ModuleBytes()
+	if err := f.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		b.Fatal(err)
+	}
+	req := EncodeSignRequest([]byte("table 3 message: a 32-byte-ish m"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Invoke(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,553 @@
+package blsapp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"repro/internal/bls"
+	"repro/internal/bls12381"
+	"repro/internal/ff"
+	"repro/internal/framework"
+	"repro/internal/sandbox"
+)
+
+// Fine-grained application variant: the sandbox module implements the
+// Jacobian point-doubling and mixed-addition formulas itself, issuing one
+// host call per base-field operation. Together with the coarse variant
+// (curve-op granularity, blsapp.Module) this brackets the paper's
+// compiled-Wasm sandbox overhead from both sides — the host-call
+// granularity is the reproduction's analog of Wasm's per-instruction
+// slowdown, and EXPERIMENTS.md reports both points (Ablation G).
+//
+// Fp slot layout (host-side table):
+//
+//	0,1,2   accumulator X, Y, Z (Jacobian; Z=0 means infinity)
+//	3,4     base point x, y (affine, set by fpm_hash_base)
+//	5..15   temporaries
+
+// Fine-variant host import names.
+const (
+	FineShareScalar = "fpm_share_scalar"
+	FineHashBase    = "fpm_hash_base"
+	FineSetZero     = "fpm_setzero"
+	FineSetOne      = "fpm_setone"
+	FineCopy        = "fpm_copy"
+	FineAdd         = "fpm_add"
+	FineSub         = "fpm_sub"
+	FineMul         = "fpm_mul"
+	FineDbl         = "fpm_dbl"
+	FineIsZero      = "fpm_iszero"
+	FineAddFallback = "fpm_add_fallback"
+	FineEmit        = "fpm_emit"
+)
+
+const fineModuleSrc = `
+module memory=135168
+import fpm_share_scalar
+import fpm_hash_base
+import fpm_setzero
+import fpm_setone
+import fpm_copy
+import fpm_add
+import fpm_sub
+import fpm_mul
+import fpm_dbl
+import fpm_iszero
+import fpm_add_fallback
+import fpm_emit
+
+func handle params=2 locals=1 results=1
+    localget 1
+    push 2
+    lts
+    brif bad
+    localget 0
+    load8
+    push 1
+    ne
+    brif bad
+
+    push 1024
+    hostcall fpm_share_scalar
+    drop
+
+    ; base = H(msg) into slots 3,4
+    localget 0
+    push 1
+    add
+    localget 1
+    push 1
+    sub
+    hostcall fpm_hash_base
+
+    ; acc = infinity: (1, 1, 0)
+    push 0
+    hostcall fpm_setone
+    push 1
+    hostcall fpm_setone
+    push 2
+    hostcall fpm_setzero
+
+    push 0
+    localset 2
+bits:
+    localget 2
+    push 256
+    ges
+    brif emit
+    call jdouble
+    localget 2
+    push 3
+    shru
+    push 1024
+    add
+    load8
+    push 7
+    localget 2
+    push 7
+    and
+    sub
+    shru
+    push 1
+    and
+    eqz
+    brif next
+    call jaddmixed
+next:
+    localget 2
+    push 1
+    add
+    localset 2
+    br bits
+
+emit:
+    push 69632
+    hostcall fpm_emit
+    ret
+
+bad:
+    push 0
+    ret
+end
+
+; Jacobian doubling (dbl-2007-bl, a=0) on slots 0,1,2.
+; With Z=0 the formulas yield Z3=0, so infinity is preserved.
+func jdouble params=0 locals=0 results=0
+    push 5
+    push 0
+    push 0
+    hostcall fpm_mul      ; A(5) = X^2
+    push 6
+    push 1
+    push 1
+    hostcall fpm_mul      ; B(6) = Y^2
+    push 7
+    push 6
+    push 6
+    hostcall fpm_mul      ; C(7) = B^2
+    push 8
+    push 0
+    push 6
+    hostcall fpm_add      ; t(8) = X + B
+    push 8
+    push 8
+    push 8
+    hostcall fpm_mul      ; t = t^2
+    push 8
+    push 8
+    push 5
+    hostcall fpm_sub      ; t -= A
+    push 8
+    push 8
+    push 7
+    hostcall fpm_sub      ; t -= C
+    push 8
+    push 8
+    hostcall fpm_dbl      ; D(8) = 2t
+    push 9
+    push 5
+    hostcall fpm_dbl      ; E(9) = 2A
+    push 9
+    push 9
+    push 5
+    hostcall fpm_add      ; E = 3A
+    push 10
+    push 9
+    push 9
+    hostcall fpm_mul      ; F(10) = E^2
+    push 11
+    push 8
+    hostcall fpm_dbl      ; t2(11) = 2D
+    push 11
+    push 10
+    push 11
+    hostcall fpm_sub      ; X3(11) = F - 2D
+    push 12
+    push 8
+    push 11
+    hostcall fpm_sub      ; Y3(12) = D - X3
+    push 12
+    push 9
+    push 12
+    hostcall fpm_mul      ; Y3 = E * (D - X3)
+    push 7
+    push 7
+    hostcall fpm_dbl      ; 2C
+    push 7
+    push 7
+    hostcall fpm_dbl      ; 4C
+    push 7
+    push 7
+    hostcall fpm_dbl      ; 8C
+    push 12
+    push 12
+    push 7
+    hostcall fpm_sub      ; Y3 -= 8C
+    push 13
+    push 1
+    push 2
+    hostcall fpm_mul      ; Z3(13) = Y*Z
+    push 13
+    push 13
+    hostcall fpm_dbl      ; Z3 = 2YZ
+    push 0
+    push 11
+    hostcall fpm_copy
+    push 1
+    push 12
+    hostcall fpm_copy
+    push 2
+    push 13
+    hostcall fpm_copy
+    ret
+end
+
+; Mixed addition acc(0,1,2) += base(3,4) (madd-2007-bl).
+func jaddmixed params=0 locals=0 results=0
+    push 2
+    hostcall fpm_iszero
+    eqz
+    brif doadd
+    ; acc was infinity: acc = (bx, by, 1)
+    push 0
+    push 3
+    hostcall fpm_copy
+    push 1
+    push 4
+    hostcall fpm_copy
+    push 2
+    hostcall fpm_setone
+    ret
+doadd:
+    push 5
+    push 2
+    push 2
+    hostcall fpm_mul      ; Z1Z1(5) = Z^2
+    push 6
+    push 3
+    push 5
+    hostcall fpm_mul      ; U2(6) = bx * Z1Z1
+    push 7
+    push 4
+    push 2
+    hostcall fpm_mul      ; S2(7) = by * Z
+    push 7
+    push 7
+    push 5
+    hostcall fpm_mul      ; S2 *= Z1Z1
+    push 8
+    push 6
+    push 0
+    hostcall fpm_sub      ; H(8) = U2 - X
+    push 8
+    hostcall fpm_iszero
+    eqz
+    brif generic
+    ; H == 0: doubling or inverse case; rare, host handles it natively.
+    hostcall fpm_add_fallback
+    ret
+generic:
+    push 9
+    push 8
+    push 8
+    hostcall fpm_mul      ; HH(9) = H^2
+    push 10
+    push 9
+    hostcall fpm_dbl      ; I(10) = 2HH
+    push 10
+    push 10
+    hostcall fpm_dbl      ; I = 4HH
+    push 11
+    push 8
+    push 10
+    hostcall fpm_mul      ; J(11) = H * I
+    push 12
+    push 7
+    push 1
+    hostcall fpm_sub      ; r(12) = S2 - Y
+    push 12
+    push 12
+    hostcall fpm_dbl      ; r = 2(S2 - Y)
+    push 13
+    push 0
+    push 10
+    hostcall fpm_mul      ; V(13) = X * I
+    push 14
+    push 12
+    push 12
+    hostcall fpm_mul      ; X3(14) = r^2
+    push 14
+    push 14
+    push 11
+    hostcall fpm_sub      ; X3 -= J
+    push 15
+    push 13
+    hostcall fpm_dbl      ; 2V
+    push 14
+    push 14
+    push 15
+    hostcall fpm_sub      ; X3 -= 2V
+    push 15
+    push 13
+    push 14
+    hostcall fpm_sub      ; t(15) = V - X3
+    push 15
+    push 12
+    push 15
+    hostcall fpm_mul      ; t = r * (V - X3)
+    push 11
+    push 1
+    push 11
+    hostcall fpm_mul      ; J = Y * J
+    push 11
+    push 11
+    hostcall fpm_dbl      ; J = 2YJ
+    push 15
+    push 15
+    push 11
+    hostcall fpm_sub      ; Y3(15) = r(V-X3) - 2YJ
+    push 6
+    push 2
+    push 8
+    hostcall fpm_add      ; t2(6) = Z + H
+    push 6
+    push 6
+    push 6
+    hostcall fpm_mul      ; t2 = (Z+H)^2
+    push 6
+    push 6
+    push 5
+    hostcall fpm_sub      ; t2 -= Z1Z1
+    push 6
+    push 6
+    push 9
+    hostcall fpm_sub      ; Z3(6) = (Z+H)^2 - Z1Z1 - HH
+    push 0
+    push 14
+    hostcall fpm_copy
+    push 1
+    push 15
+    hostcall fpm_copy
+    push 2
+    push 6
+    hostcall fpm_copy
+    ret
+end
+`
+
+// FineModule assembles the fine-grained application variant.
+func FineModule() *sandbox.Module {
+	return sandbox.MustAssemble(fineModuleSrc)
+}
+
+// FineModuleBytes returns the canonical encoding of the fine variant.
+func FineModuleBytes() []byte { return FineModule().Encode() }
+
+// numFpSlots bounds the host-side field-element table.
+const numFpSlots = 16
+
+// FineHosts builds the host-function registry for the fine-grained
+// variant: base-field primitives over a slot table, plus the same share
+// scalar, hash and emit services as the coarse variant.
+func FineHosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
+	var mu sync.Mutex
+	var slots [numFpSlots]ff.Fp
+
+	slot := func(v int64) (int, error) {
+		if v < 0 || v >= numFpSlots {
+			return 0, fmt.Errorf("blsapp: fp slot %d out of range", v)
+		}
+		return int(v), nil
+	}
+	slot3 := func(args []int64) (d, a, b int, err error) {
+		if d, err = slot(args[0]); err != nil {
+			return
+		}
+		if a, err = slot(args[1]); err != nil {
+			return
+		}
+		b, err = slot(args[2])
+		return
+	}
+
+	binOp := func(name string, op func(z, a, b *ff.Fp)) *sandbox.HostFunc {
+		return &sandbox.HostFunc{
+			Name: name, Arity: 3, Results: 0, Gas: 4,
+			Fn: func(_ *sandbox.Instance, args []int64) ([]int64, error) {
+				d, a, b, err := slot3(args)
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				op(&slots[d], &slots[a], &slots[b])
+				mu.Unlock()
+				return nil, nil
+			},
+		}
+	}
+
+	return map[string]*sandbox.HostFunc{
+		FineShareScalar: {
+			Name: FineShareScalar, Arity: 1, Results: 1, Gas: 50,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				b := ks.Share.Bytes()
+				if err := inst.WriteMemory(int(args[0]), b[:]); err != nil {
+					return nil, err
+				}
+				return []int64{int64(len(b))}, nil
+			},
+		},
+		FineHashBase: {
+			Name: FineHashBase, Arity: 2, Results: 0, Gas: 500,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				msgPtr, msgLen := args[0], args[1]
+				if msgLen <= 0 || msgLen > framework.MaxRequestLen {
+					return nil, fmt.Errorf("blsapp: bad message length %d", msgLen)
+				}
+				msg, err := inst.ReadMemory(int(msgPtr), int(msgLen))
+				if err != nil {
+					return nil, err
+				}
+				p := bls12381.HashToG1(msg, bls.SignatureDST)
+				mu.Lock()
+				slots[3] = p.X
+				slots[4] = p.Y
+				mu.Unlock()
+				return nil, nil
+			},
+		},
+		FineSetZero: {
+			Name: FineSetZero, Arity: 1, Results: 0, Gas: 2,
+			Fn: func(_ *sandbox.Instance, args []int64) ([]int64, error) {
+				s, err := slot(args[0])
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				slots[s].SetZero()
+				mu.Unlock()
+				return nil, nil
+			},
+		},
+		FineSetOne: {
+			Name: FineSetOne, Arity: 1, Results: 0, Gas: 2,
+			Fn: func(_ *sandbox.Instance, args []int64) ([]int64, error) {
+				s, err := slot(args[0])
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				slots[s].SetOne()
+				mu.Unlock()
+				return nil, nil
+			},
+		},
+		FineCopy: {
+			Name: FineCopy, Arity: 2, Results: 0, Gas: 2,
+			Fn: func(_ *sandbox.Instance, args []int64) ([]int64, error) {
+				d, err := slot(args[0])
+				if err != nil {
+					return nil, err
+				}
+				s, err := slot(args[1])
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				slots[d] = slots[s]
+				mu.Unlock()
+				return nil, nil
+			},
+		},
+		FineAdd: binOp(FineAdd, func(z, a, b *ff.Fp) { z.Add(a, b) }),
+		FineSub: binOp(FineSub, func(z, a, b *ff.Fp) { z.Sub(a, b) }),
+		FineMul: binOp(FineMul, func(z, a, b *ff.Fp) { z.Mul(a, b) }),
+		FineDbl: {
+			Name: FineDbl, Arity: 2, Results: 0, Gas: 3,
+			Fn: func(_ *sandbox.Instance, args []int64) ([]int64, error) {
+				d, err := slot(args[0])
+				if err != nil {
+					return nil, err
+				}
+				s, err := slot(args[1])
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				slots[d].Double(&slots[s])
+				mu.Unlock()
+				return nil, nil
+			},
+		},
+		FineIsZero: {
+			Name: FineIsZero, Arity: 1, Results: 1, Gas: 2,
+			Fn: func(_ *sandbox.Instance, args []int64) ([]int64, error) {
+				s, err := slot(args[0])
+				if err != nil {
+					return nil, err
+				}
+				mu.Lock()
+				z := slots[s].IsZero()
+				mu.Unlock()
+				if z {
+					return []int64{1}, nil
+				}
+				return []int64{0}, nil
+			},
+		},
+		FineAddFallback: {
+			Name: FineAddFallback, Arity: 0, Results: 0, Gas: 40,
+			Fn: func(_ *sandbox.Instance, _ []int64) ([]int64, error) {
+				mu.Lock()
+				defer mu.Unlock()
+				acc := bls12381.G1Jac{X: slots[0], Y: slots[1], Z: slots[2]}
+				base := bls12381.G1Affine{X: slots[3], Y: slots[4]}
+				var bj bls12381.G1Jac
+				bj.FromAffine(&base)
+				acc.Add(&acc, &bj)
+				slots[0], slots[1], slots[2] = acc.X, acc.Y, acc.Z
+				return nil, nil
+			},
+		},
+		FineEmit: {
+			Name: FineEmit, Arity: 1, Results: 1, Gas: 100,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				mu.Lock()
+				acc := bls12381.G1Jac{X: slots[0], Y: slots[1], Z: slots[2]}
+				mu.Unlock()
+				aff := acc.Affine()
+				out := make([]byte, 0, responseLen)
+				var idx [4]byte
+				binary.BigEndian.PutUint32(idx[:], ks.Index)
+				out = append(out, idx[:]...)
+				enc := aff.Bytes()
+				out = append(out, enc[:]...)
+				if err := inst.WriteMemory(int(args[0]), out); err != nil {
+					return nil, err
+				}
+				return []int64{int64(len(out))}, nil
+			},
+		},
+	}
+}

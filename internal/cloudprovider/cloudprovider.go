@@ -1,0 +1,207 @@
+// Package cloudprovider simulates the expanded cloud-provider offering
+// the paper proposes in §4.2 ("Expanding cloud provider offerings"):
+// a service "specifically tailored for distributed-trust systems" where
+//
+//   - developers submit code and code updates, but cannot inspect or
+//     modify application memory (the provider, not the developer, holds
+//     administrative control of the machines);
+//   - the provider attests to the current code that is running and to
+//     the history of executed code.
+//
+// A Provider hosts managed trust domains: each is a regular framework
+// inside a provider-operated simulated TEE, plus a provider-level
+// co-attestation (the provider's signature over the domain's status),
+// so a client checks two independent statements — the hardware vendor's
+// (via the quote chain) and the infrastructure operator's. One provider
+// is still one organization: a deployment spreads its domains across
+// several providers exactly as it spreads them across TEE vendors.
+package cloudprovider
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/framework"
+	"repro/internal/sandbox"
+	"repro/internal/tee"
+)
+
+// Provider is a simulated cloud provider with a TEE fleet and a
+// provider identity key used for co-attestation.
+type Provider struct {
+	name   string
+	priv   ed25519.PrivateKey
+	pub    ed25519.PublicKey
+	vendor *tee.Vendor
+
+	mu       sync.Mutex
+	services map[string]*Service
+}
+
+// New creates a provider whose fleet runs the given TEE vendor's
+// hardware.
+func New(name string, vendor *tee.Vendor) (*Provider, error) {
+	if name == "" {
+		return nil, errors.New("cloudprovider: name required")
+	}
+	if vendor == nil {
+		return nil, errors.New("cloudprovider: a TEE fleet is required")
+	}
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("cloudprovider: identity keygen: %w", err)
+	}
+	return &Provider{
+		name:     name,
+		priv:     priv,
+		pub:      pub,
+		vendor:   vendor,
+		services: make(map[string]*Service),
+	}, nil
+}
+
+// Name returns the provider's name.
+func (p *Provider) Name() string { return p.name }
+
+// IdentityKey returns the provider's co-attestation public key.
+func (p *Provider) IdentityKey() ed25519.PublicKey {
+	return append(ed25519.PublicKey{}, p.pub...)
+}
+
+// Service is one managed trust domain: developer-submitted code running
+// on provider-administered hardware.
+type Service struct {
+	provider *Provider
+	id       string
+	fw       *framework.Framework
+}
+
+// CreateService provisions a managed trust domain for a developer: the
+// provider provisions the enclave and runs the framework; the developer
+// only ever submits signed code. hosts supplies the application's host
+// functions (the provider installs them as part of the service type).
+func (p *Provider) CreateService(id string, developerKey ed25519.PublicKey, hosts map[string]*sandbox.HostFunc) (*Service, error) {
+	if id == "" {
+		return nil, errors.New("cloudprovider: service id required")
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if _, exists := p.services[id]; exists {
+		return nil, fmt.Errorf("cloudprovider: service %q already exists", id)
+	}
+	enclave, err := p.vendor.Provision(p.name+"/"+id, framework.Measure(developerKey))
+	if err != nil {
+		return nil, fmt.Errorf("cloudprovider: provisioning: %w", err)
+	}
+	fw, err := framework.New(developerKey, enclave, hosts)
+	if err != nil {
+		return nil, fmt.Errorf("cloudprovider: framework: %w", err)
+	}
+	svc := &Service{provider: p, id: id, fw: fw}
+	p.services[id] = svc
+	return svc, nil
+}
+
+// Service returns a managed service by id.
+func (p *Provider) Service(id string) (*Service, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	svc, ok := p.services[id]
+	if !ok {
+		return nil, fmt.Errorf("cloudprovider: no service %q", id)
+	}
+	return svc, nil
+}
+
+// ID returns the service identifier.
+func (s *Service) ID() string { return s.id }
+
+// SubmitUpdate is the developer-facing update path: the provider applies
+// the signed update; nothing else about the running service is exposed
+// to the developer. (There deliberately is no API for the developer to
+// read application memory — that is the §4.2 property.)
+func (s *Service) SubmitUpdate(version uint64, moduleBytes, devSig []byte) error {
+	return s.fw.Install(version, moduleBytes, devSig)
+}
+
+// Invoke serves an application request (what the service's clients call).
+func (s *Service) Invoke(request []byte) ([]byte, error) {
+	return s.fw.Invoke(request)
+}
+
+// History returns the service's logged code-digest history.
+func (s *Service) History() [][]byte { return s.fw.History() }
+
+// CoAttestedStatus is the provider offering from §4.2: the TEE quote
+// plus the provider's own signature over the same status binding, so the
+// client checks hardware vendor AND infrastructure operator statements.
+type CoAttestedStatus struct {
+	Status      framework.Status `json:"status"`
+	Quote       *tee.Quote       `json:"quote"`
+	Provider    string           `json:"provider"`
+	ProviderKey []byte           `json:"provider_key"`
+	ProviderSig []byte           `json:"provider_sig"`
+}
+
+func coAttestMessage(provider, serviceID string, rd [64]byte) []byte {
+	msg := make([]byte, 0, 128)
+	msg = append(msg, []byte("cloudprovider-coattest-v1|")...)
+	msg = append(msg, []byte(provider)...)
+	msg = append(msg, '|')
+	msg = append(msg, []byte(serviceID)...)
+	msg = append(msg, '|')
+	msg = append(msg, rd[:]...)
+	return msg
+}
+
+// AttestedStatus returns the co-attested status bound to the nonce.
+func (s *Service) AttestedStatus(nonce []byte) CoAttestedStatus {
+	as := s.fw.AttestedStatus(nonce)
+	rd := framework.StatusReportData(nonce, &as.Status)
+	return CoAttestedStatus{
+		Status:      as.Status,
+		Quote:       as.Quote,
+		Provider:    s.provider.name,
+		ProviderKey: s.provider.IdentityKey(),
+		ProviderSig: ed25519.Sign(s.provider.priv, coAttestMessage(s.provider.name, s.id, rd)),
+	}
+}
+
+// VerifyCoAttestedStatus checks both statements: the quote chain against
+// the pinned vendor roots and measurement, and the provider signature
+// against the pinned provider key.
+func VerifyCoAttestedStatus(
+	roots tee.RootSet,
+	measurement tee.Measurement,
+	providerKey ed25519.PublicKey,
+	serviceID string,
+	nonce []byte,
+	cas *CoAttestedStatus,
+) error {
+	if cas == nil {
+		return errors.New("cloudprovider: nil status")
+	}
+	if cas.Quote == nil {
+		return errors.New("cloudprovider: managed service returned no quote")
+	}
+	if err := tee.VerifyQuote(roots, cas.Quote); err != nil {
+		return fmt.Errorf("cloudprovider: quote: %w", err)
+	}
+	if cas.Quote.Measurement != measurement {
+		return errors.New("cloudprovider: unexpected measurement")
+	}
+	rd := framework.StatusReportData(nonce, &cas.Status)
+	if cas.Quote.ReportData != rd {
+		return errors.New("cloudprovider: quote does not bind status/nonce")
+	}
+	if len(providerKey) != ed25519.PublicKeySize {
+		return errors.New("cloudprovider: bad provider key")
+	}
+	if !ed25519.Verify(providerKey, coAttestMessage(cas.Provider, serviceID, rd), cas.ProviderSig) {
+		return errors.New("cloudprovider: provider co-attestation invalid")
+	}
+	return nil
+}

@@ -1,0 +1,145 @@
+package cloudprovider
+
+import (
+	"testing"
+
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+	"repro/internal/framework"
+	"repro/internal/tee"
+)
+
+func fixture(t *testing.T) (*Provider, *framework.Developer, tee.RootSet, *bls.ThresholdKey, []bls.KeyShare) {
+	t.Helper()
+	vendor, err := tee.NewVendor(tee.VendorSimNitro)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New("nimbus", vendor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p, dev, tee.RootSet{tee.VendorSimNitro: vendor.RootKey()}, tk, shares
+}
+
+func TestManagedServiceLifecycle(t *testing.T) {
+	p, dev, roots, tk, shares := fixture(t)
+	svc, err := p.CreateService("prio-aggregator", dev.PublicKey(), blsapp.Hosts(&shares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := blsapp.ModuleBytes()
+	if err := svc.SubmitUpdate(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+	// The service runs the code and clients verify both statements.
+	msg := []byte("managed signing")
+	resp, err := svc.Invoke(blsapp.EncodeSignRequest(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ss, err := blsapp.DecodeSignResponse(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tk.VerifyShareSignature(msg, ss) {
+		t.Fatal("managed share invalid")
+	}
+	nonce := []byte("client nonce")
+	cas := svc.AttestedStatus(nonce)
+	if err := VerifyCoAttestedStatus(roots, framework.Measure(dev.PublicKey()),
+		p.IdentityKey(), svc.ID(), nonce, &cas); err != nil {
+		t.Fatalf("co-attested status rejected: %v", err)
+	}
+	if len(svc.History()) != 1 {
+		t.Fatal("history missing install record")
+	}
+}
+
+func TestCoAttestationTamperDetection(t *testing.T) {
+	p, dev, roots, _, shares := fixture(t)
+	svc, err := p.CreateService("svc", dev.PublicKey(), blsapp.Hosts(&shares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := blsapp.ModuleBytes()
+	if err := svc.SubmitUpdate(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("n")
+	cas := svc.AttestedStatus(nonce)
+	m := framework.Measure(dev.PublicKey())
+
+	// Wrong nonce.
+	if err := VerifyCoAttestedStatus(roots, m, p.IdentityKey(), svc.ID(), []byte("other"), &cas); err == nil {
+		t.Fatal("wrong nonce accepted")
+	}
+	// Wrong service id (provider signature binds it).
+	if err := VerifyCoAttestedStatus(roots, m, p.IdentityKey(), "other-svc", nonce, &cas); err == nil {
+		t.Fatal("wrong service id accepted")
+	}
+	// Impostor provider key.
+	vendor2, _ := tee.NewVendor(tee.VendorSimSGX)
+	p2, _ := New("impostor", vendor2)
+	if err := VerifyCoAttestedStatus(roots, m, p2.IdentityKey(), svc.ID(), nonce, &cas); err == nil {
+		t.Fatal("impostor provider accepted")
+	}
+	// Tampered status.
+	bad := cas
+	bad.Status.Version++
+	if err := VerifyCoAttestedStatus(roots, m, p.IdentityKey(), svc.ID(), nonce, &bad); err == nil {
+		t.Fatal("tampered status accepted")
+	}
+	if err := VerifyCoAttestedStatus(roots, m, p.IdentityKey(), svc.ID(), nonce, nil); err == nil {
+		t.Fatal("nil status accepted")
+	}
+}
+
+func TestDeveloperCannotTouchMemoryButCanUpdate(t *testing.T) {
+	// The API surface is the test: a Service exposes SubmitUpdate and
+	// Invoke/History/AttestedStatus — no memory access. A bad update is
+	// still rejected by the in-enclave framework, not by provider policy.
+	p, dev, _, _, shares := fixture(t)
+	svc, err := p.CreateService("svc", dev.PublicKey(), blsapp.Hosts(&shares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mallory, _ := framework.NewDeveloper()
+	mb := blsapp.ModuleBytes()
+	if err := svc.SubmitUpdate(1, mb, mallory.SignUpdate(1, mb)); err == nil {
+		t.Fatal("provider applied a foreign-signed update")
+	}
+	if err := svc.SubmitUpdate(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServiceRegistry(t *testing.T) {
+	p, dev, _, _, shares := fixture(t)
+	if _, err := p.CreateService("", dev.PublicKey(), nil); err == nil {
+		t.Fatal("empty id accepted")
+	}
+	if _, err := p.CreateService("a", dev.PublicKey(), blsapp.Hosts(&shares[0])); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateService("a", dev.PublicKey(), blsapp.Hosts(&shares[1])); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+	if _, err := p.Service("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Service("zzz"); err == nil {
+		t.Fatal("missing service returned")
+	}
+	if _, err := New("", nil); err == nil {
+		t.Fatal("invalid provider accepted")
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+)
+
+// TestThresholdSurvivesDomainFailure: with a 2-of-3 deployment, killing
+// one trust domain must not stop threshold signing — the availability
+// half of the distributed-trust bargain.
+func TestThresholdSurvivesDomainFailure(t *testing.T) {
+	dep, tk, _ := deployBLS(t, false)
+	msg := []byte("survives failure")
+	sigBefore, err := blsapp.ThresholdSign(dep, tk, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill domain 0 (the developer's own, per Murphy).
+	if err := dep.Domain(0).Close(); err != nil {
+		t.Logf("close reported: %v (acceptable)", err)
+	}
+	sigAfter, err := blsapp.ThresholdSign(dep, tk, msg)
+	if err != nil {
+		t.Fatalf("signing failed with 2 of 3 domains alive: %v", err)
+	}
+	if !sigBefore.Equal(sigAfter) {
+		t.Fatal("signature changed across domain failure (uniqueness violated)")
+	}
+	if !bls.Verify(&tk.GroupKey, msg, sigAfter) {
+		t.Fatal("signature invalid")
+	}
+}
+
+// TestTwoDomainFailuresBlockSigning: losing n-t+1 domains must make
+// signing impossible — no secret reconstruction shortcut exists.
+func TestTwoDomainFailuresBlockSigning(t *testing.T) {
+	dep, tk, _ := deployBLS(t, false)
+	dep.Domain(0).Close()
+	dep.Domain(2).Close()
+	if _, err := blsapp.ThresholdSign(dep, tk, []byte("m")); err == nil {
+		t.Fatal("signed with only 1 of 3 domains")
+	}
+}
+
+// TestConcurrentInvokes exercises the TEE domain's proxy and app-socket
+// path under concurrency (shared app connection, per-client proxy
+// upstreams).
+func TestConcurrentInvokes(t *testing.T) {
+	dep, tk, _ := deployBLS(t, false)
+	msg := []byte("concurrent message")
+	req := blsapp.EncodeSignRequest(msg)
+	const workers = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for j := 0; j < 3; j++ {
+				domainIdx := (w + j) % dep.NumDomains()
+				resp, err := dep.Invoke(domainIdx, req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				ss, err := blsapp.DecodeSignResponse(resp)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !tk.VerifyShareSignature(msg, ss) {
+					errs <- errBadShare
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errBadShare = &badShareError{}
+
+type badShareError struct{}
+
+func (*badShareError) Error() string { return "invalid share under concurrency" }
+
+// TestAuditAfterDomainFailure: the audit must fail loudly (error, not a
+// silent pass) when a domain is unreachable.
+func TestAuditAfterDomainFailure(t *testing.T) {
+	dep, _, _ := deployBLS(t, false)
+	c := dep.AuditClient()
+	defer c.Close()
+	if _, err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	dep.Domain(1).Close()
+	c2 := dep.AuditClient() // fresh connections so the failure is visible
+	defer c2.Close()
+	if _, err := c2.Audit(); err == nil {
+		t.Fatal("audit silently passed with an unreachable domain")
+	}
+}

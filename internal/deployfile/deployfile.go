@@ -1,0 +1,159 @@
+// Package deployfile serializes a deployment's public parameters — the
+// exact data a client or third-party auditor needs — so the trustdomaind
+// and dtclient commands can run in separate processes: vendor root keys,
+// the framework measurement, domain addresses and host keys, and the
+// threshold public key of the BLS application.
+package deployfile
+
+import (
+	"crypto/ed25519"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/audit"
+	"repro/internal/bls"
+	"repro/internal/bls12381"
+	"repro/internal/tee"
+)
+
+// File is the on-disk format.
+type File struct {
+	Measurement string            `json:"measurement"` // hex
+	Roots       map[string]string `json:"roots"`       // vendor -> hex root key
+	Domains     []DomainEntry     `json:"domains"`
+	Threshold   *ThresholdEntry   `json:"threshold,omitempty"`
+}
+
+// DomainEntry describes one trust domain.
+type DomainEntry struct {
+	Name    string `json:"name"`
+	Addr    string `json:"addr"`
+	HasTEE  bool   `json:"has_tee"`
+	HostKey string `json:"host_key,omitempty"` // hex
+}
+
+// ThresholdEntry carries the BLS threshold public key material.
+type ThresholdEntry struct {
+	T         int      `json:"t"`
+	N         int      `json:"n"`
+	GroupKey  string   `json:"group_key"`  // hex compressed G2
+	ShareKeys []string `json:"share_keys"` // hex compressed G2, index order
+}
+
+// FromParams builds a File from audit parameters and an optional
+// threshold key.
+func FromParams(p audit.Params, tk *bls.ThresholdKey) *File {
+	f := &File{
+		Measurement: hex.EncodeToString(p.Measurement[:]),
+		Roots:       map[string]string{},
+	}
+	for id, key := range p.Roots {
+		f.Roots[string(id)] = hex.EncodeToString(key)
+	}
+	for _, d := range p.Domains {
+		e := DomainEntry{Name: d.Name, Addr: d.Addr, HasTEE: d.HasTEE}
+		if len(d.HostKey) > 0 {
+			e.HostKey = hex.EncodeToString(d.HostKey)
+		}
+		f.Domains = append(f.Domains, e)
+	}
+	if tk != nil {
+		gk := tk.GroupKey.Bytes()
+		te := &ThresholdEntry{T: tk.T, N: tk.N, GroupKey: hex.EncodeToString(gk[:])}
+		for i := range tk.ShareKeys {
+			sk := tk.ShareKeys[i].Bytes()
+			te.ShareKeys = append(te.ShareKeys, hex.EncodeToString(sk[:]))
+		}
+		f.Threshold = te
+	}
+	return f
+}
+
+// Params reconstructs audit parameters.
+func (f *File) Params() (audit.Params, error) {
+	var p audit.Params
+	mb, err := hex.DecodeString(f.Measurement)
+	if err != nil || len(mb) != len(p.Measurement) {
+		return p, fmt.Errorf("deployfile: bad measurement")
+	}
+	copy(p.Measurement[:], mb)
+	p.Roots = tee.RootSet{}
+	for id, keyHex := range f.Roots {
+		kb, err := hex.DecodeString(keyHex)
+		if err != nil || len(kb) != ed25519.PublicKeySize {
+			return p, fmt.Errorf("deployfile: bad root key for %s", id)
+		}
+		p.Roots[tee.VendorID(id)] = ed25519.PublicKey(kb)
+	}
+	for _, d := range f.Domains {
+		info := audit.DomainInfo{Name: d.Name, Addr: d.Addr, HasTEE: d.HasTEE}
+		if d.HostKey != "" {
+			kb, err := hex.DecodeString(d.HostKey)
+			if err != nil || len(kb) != ed25519.PublicKeySize {
+				return p, fmt.Errorf("deployfile: bad host key for %s", d.Name)
+			}
+			info.HostKey = ed25519.PublicKey(kb)
+		}
+		p.Domains = append(p.Domains, info)
+	}
+	return p, nil
+}
+
+// ThresholdKey reconstructs the threshold public key, or nil if absent.
+func (f *File) ThresholdKey() (*bls.ThresholdKey, error) {
+	if f.Threshold == nil {
+		return nil, nil
+	}
+	tk := &bls.ThresholdKey{T: f.Threshold.T, N: f.Threshold.N}
+	gb, err := hex.DecodeString(f.Threshold.GroupKey)
+	if err != nil {
+		return nil, fmt.Errorf("deployfile: bad group key: %w", err)
+	}
+	if err := tk.GroupKey.SetBytes(gb); err != nil {
+		return nil, fmt.Errorf("deployfile: bad group key: %w", err)
+	}
+	for i, skHex := range f.Threshold.ShareKeys {
+		sb, err := hex.DecodeString(skHex)
+		if err != nil {
+			return nil, fmt.Errorf("deployfile: bad share key %d: %w", i, err)
+		}
+		var pk bls.PublicKey
+		if err := pk.SetBytes(sb); err != nil {
+			return nil, fmt.Errorf("deployfile: bad share key %d: %w", i, err)
+		}
+		tk.ShareKeys = append(tk.ShareKeys, pk)
+	}
+	if len(tk.ShareKeys) != tk.N {
+		return nil, fmt.Errorf("deployfile: %d share keys for n=%d", len(tk.ShareKeys), tk.N)
+	}
+	return tk, nil
+}
+
+// Write saves the file as indented JSON.
+func (f *File) Write(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("deployfile: encoding: %w", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("deployfile: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+// Read loads a params file.
+func Read(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deployfile: reading %s: %w", path, err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("deployfile: parsing %s: %w", path, err)
+	}
+	return &f, nil
+}
+
+var _ = bls12381.G2CompressedSize // keep the dependency explicit for docs

@@ -1,0 +1,129 @@
+package deployfile
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/audit"
+	"repro/internal/bls"
+	"repro/internal/tee"
+)
+
+func testParams(t *testing.T) (audit.Params, *bls.ThresholdKey) {
+	t.Helper()
+	_, roots, err := tee.NewSimulatedEcosystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hostPub, _, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m tee.Measurement
+	m[0] = 0xab
+	params := audit.Params{
+		Roots:       roots,
+		Measurement: m,
+		Domains: []audit.DomainInfo{
+			{Name: "domain-0", Addr: "127.0.0.1:1000", HasTEE: false, HostKey: hostPub},
+			{Name: "domain-1", Addr: "127.0.0.1:1001", HasTEE: true},
+		},
+	}
+	tk, _, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return params, tk
+}
+
+func TestRoundTrip(t *testing.T) {
+	params, tk := testParams(t)
+	file := FromParams(params, tk)
+	path := filepath.Join(t.TempDir(), "deployment.json")
+	if err := file.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotParams, err := loaded.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotParams.Measurement != params.Measurement {
+		t.Fatal("measurement mismatch")
+	}
+	if len(gotParams.Roots) != len(params.Roots) {
+		t.Fatal("roots mismatch")
+	}
+	for id, key := range params.Roots {
+		if !gotParams.Roots[id].Equal(key) {
+			t.Fatalf("root for %s mismatch", id)
+		}
+	}
+	if len(gotParams.Domains) != 2 ||
+		gotParams.Domains[0].Name != "domain-0" ||
+		!gotParams.Domains[1].HasTEE {
+		t.Fatal("domains mismatch")
+	}
+	if !gotParams.Domains[0].HostKey.Equal(params.Domains[0].HostKey) {
+		t.Fatal("host key mismatch")
+	}
+	gotTk, err := loaded.ThresholdKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTk.T != tk.T || gotTk.N != tk.N {
+		t.Fatal("threshold shape mismatch")
+	}
+	if !gotTk.GroupKey.Equal(&tk.GroupKey) {
+		t.Fatal("group key mismatch")
+	}
+	for i := range tk.ShareKeys {
+		if !gotTk.ShareKeys[i].Equal(&tk.ShareKeys[i]) {
+			t.Fatalf("share key %d mismatch", i)
+		}
+	}
+}
+
+func TestNoThresholdKey(t *testing.T) {
+	params, _ := testParams(t)
+	file := FromParams(params, nil)
+	tk, err := file.ThresholdKey()
+	if err != nil || tk != nil {
+		t.Fatal("absent threshold key should decode to nil")
+	}
+}
+
+func TestCorruptFileRejected(t *testing.T) {
+	if _, err := Read(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	params, tk := testParams(t)
+	file := FromParams(params, tk)
+
+	bad := *file
+	bad.Measurement = "zz"
+	if _, err := bad.Params(); err == nil {
+		t.Fatal("bad measurement accepted")
+	}
+	bad = *file
+	bad.Roots = map[string]string{"sim-sgx": "abcd"}
+	if _, err := bad.Params(); err == nil {
+		t.Fatal("short root key accepted")
+	}
+	bad = *file
+	bad.Threshold = &ThresholdEntry{T: 2, N: 3, GroupKey: "not-hex"}
+	if _, err := bad.ThresholdKey(); err == nil {
+		t.Fatal("bad group key accepted")
+	}
+	// Group key must be a valid subgroup point.
+	bad = *file
+	bad.Threshold = &ThresholdEntry{T: 2, N: 3, GroupKey: "00"}
+	if _, err := bad.ThresholdKey(); err == nil {
+		t.Fatal("malformed point accepted")
+	}
+}

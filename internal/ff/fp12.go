@@ -1,0 +1,184 @@
+package ff
+
+import (
+	"fmt"
+	"math/big"
+	"sync"
+)
+
+// Fp12 is the quadratic extension Fp6[w]/(w^2 - v). An element is C0 + C1*w.
+// Equivalently Fp12 = Fp2[W]/(W^6 - xi) with w = W and v = W^2; that view
+// drives the Frobenius implementation. The zero value is the zero element.
+type Fp12 struct {
+	C0, C1 Fp6
+}
+
+// Fp12Zero returns the additive identity.
+func Fp12Zero() Fp12 { return Fp12{} }
+
+// Fp12One returns the multiplicative identity.
+func Fp12One() Fp12 { return Fp12{C0: Fp6One()} }
+
+// SetZero sets z to 0 and returns z.
+func (z *Fp12) SetZero() *Fp12 { *z = Fp12{}; return z }
+
+// SetOne sets z to 1 and returns z.
+func (z *Fp12) SetOne() *Fp12 { *z = Fp12One(); return z }
+
+// Set copies a into z and returns z.
+func (z *Fp12) Set(a *Fp12) *Fp12 { *z = *a; return z }
+
+// IsZero reports whether z is zero.
+func (z *Fp12) IsZero() bool { return z.C0.IsZero() && z.C1.IsZero() }
+
+// IsOne reports whether z is one.
+func (z *Fp12) IsOne() bool { return z.C0.IsOne() && z.C1.IsZero() }
+
+// Equal reports whether z == a.
+func (z *Fp12) Equal(a *Fp12) bool { return z.C0.Equal(&a.C0) && z.C1.Equal(&a.C1) }
+
+// String implements fmt.Stringer.
+func (z *Fp12) String() string {
+	return fmt.Sprintf("(%s + %s*w)", z.C0.String(), z.C1.String())
+}
+
+// Add sets z = a + b and returns z.
+func (z *Fp12) Add(a, b *Fp12) *Fp12 {
+	z.C0.Add(&a.C0, &b.C0)
+	z.C1.Add(&a.C1, &b.C1)
+	return z
+}
+
+// Sub sets z = a - b and returns z.
+func (z *Fp12) Sub(a, b *Fp12) *Fp12 {
+	z.C0.Sub(&a.C0, &b.C0)
+	z.C1.Sub(&a.C1, &b.C1)
+	return z
+}
+
+// Neg sets z = -a and returns z.
+func (z *Fp12) Neg(a *Fp12) *Fp12 {
+	z.C0.Neg(&a.C0)
+	z.C1.Neg(&a.C1)
+	return z
+}
+
+// Conjugate sets z = C0 - C1*w and returns z. For elements of the
+// cyclotomic subgroup (pairing outputs after the easy part), the conjugate
+// equals the inverse.
+func (z *Fp12) Conjugate(a *Fp12) *Fp12 {
+	z.C0 = a.C0
+	z.C1.Neg(&a.C1)
+	return z
+}
+
+// Mul sets z = a * b (Karatsuba over w^2 = v) and returns z.
+func (z *Fp12) Mul(a, b *Fp12) *Fp12 {
+	var v0, v1, t0, t1 Fp6
+	v0.Mul(&a.C0, &b.C0)
+	v1.Mul(&a.C1, &b.C1)
+	t0.Add(&a.C0, &a.C1)
+	t1.Add(&b.C0, &b.C1)
+	t0.Mul(&t0, &t1)
+	t0.Sub(&t0, &v0)
+	t0.Sub(&t0, &v1)
+	// c0 = v0 + v*v1 ; c1 = (a0+a1)(b0+b1) - v0 - v1
+	var vshift Fp6
+	vshift.MulByV(&v1)
+	z.C0.Add(&v0, &vshift)
+	z.C1 = t0
+	return z
+}
+
+// Square sets z = a^2 and returns z.
+func (z *Fp12) Square(a *Fp12) *Fp12 { return z.Mul(a, a) }
+
+// Inverse sets z = a^-1 and returns z. Inverting zero yields zero.
+func (z *Fp12) Inverse(a *Fp12) *Fp12 {
+	// 1/(c0 + c1 w) = (c0 - c1 w) / (c0^2 - v*c1^2)
+	var t0, t1 Fp6
+	t0.Square(&a.C0)
+	t1.Square(&a.C1)
+	t1.MulByV(&t1)
+	t0.Sub(&t0, &t1)
+	t0.Inverse(&t0)
+	z.C0.Mul(&a.C0, &t0)
+	t0.Neg(&t0)
+	z.C1.Mul(&a.C1, &t0)
+	return z
+}
+
+// Exp sets z = a^e for non-negative e and returns z.
+func (z *Fp12) Exp(a *Fp12, e *big.Int) *Fp12 {
+	if e.Sign() < 0 {
+		panic("ff: negative exponent")
+	}
+	base := *a
+	var out Fp12
+	out.SetOne()
+	for i := e.BitLen() - 1; i >= 0; i-- {
+		out.Square(&out)
+		if e.Bit(i) == 1 {
+			out.Mul(&out, &base)
+		}
+	}
+	*z = out
+	return z
+}
+
+// frobCoeffs[k][i] = xi^(i * (p^k - 1) / 6) for k = 1..3, i = 1..5, viewing
+// Fp12 as Fp2[W]/(W^6 - xi). Computed once, lazily, by exponentiation so no
+// hardcoded tower constants can be wrong.
+var (
+	frobOnce   sync.Once
+	frobCoeffs [4][6]Fp2
+)
+
+func frobInit() {
+	xi := Fp2NonResidue()
+	six := big.NewInt(6)
+	for k := 1; k <= 3; k++ {
+		pk := new(big.Int).Exp(fpP, big.NewInt(int64(k)), nil)
+		pk.Sub(pk, big.NewInt(1))
+		if new(big.Int).Mod(pk, six).Sign() != 0 {
+			panic("ff: p^k - 1 not divisible by 6")
+		}
+		base := new(big.Int).Div(pk, six)
+		for i := 1; i <= 5; i++ {
+			e := new(big.Int).Mul(base, big.NewInt(int64(i)))
+			frobCoeffs[k][i].Exp(&xi, e)
+		}
+	}
+}
+
+// frobComponents returns the six Fp2 components of a in W-degree order:
+// degree 0..5 = C0.C0, C1.C0, C0.C1, C1.C1, C0.C2, C1.C2.
+// (basis element of degree d is W^d, with W = w and W^2 = v.)
+func (z *Fp12) frobComponents() [6]*Fp2 {
+	return [6]*Fp2{&z.C0.C0, &z.C1.C0, &z.C0.C1, &z.C1.C1, &z.C0.C2, &z.C1.C2}
+}
+
+// Frobenius sets z = a^(p^k) for k in 1..3 and returns z.
+func (z *Fp12) Frobenius(a *Fp12, k int) *Fp12 {
+	if k < 1 || k > 3 {
+		panic("ff: Frobenius power must be 1..3")
+	}
+	frobOnce.Do(frobInit)
+	out := *a
+	comps := out.frobComponents()
+	for i := 0; i < 6; i++ {
+		if k%2 == 1 {
+			comps[i].Conjugate(comps[i])
+		}
+		if i > 0 {
+			comps[i].Mul(comps[i], &frobCoeffs[k][i])
+		}
+	}
+	*z = out
+	return z
+}
+
+// CyclotomicSquare sets z = a^2 assuming a is in the cyclotomic subgroup.
+// Currently an alias for Square; kept as a named operation so callers
+// express intent and an optimized Granger-Scott squaring can be dropped in.
+func (z *Fp12) CyclotomicSquare(a *Fp12) *Fp12 { return z.Square(a) }

@@ -1,0 +1,274 @@
+package ff
+
+import (
+	"bytes"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+// randBig produces a random canonical value below mod using testing/quick's
+// generator-provided uint64s for reproducibility inside property tests.
+func fpFromWords(words [6]uint64) (Fp, *big.Int) {
+	v := limbsToBig(words[:])
+	v.Mod(v, fpP)
+	var z Fp
+	z.SetBig(v)
+	return z, v
+}
+
+func frFromWords(words [4]uint64) (Fr, *big.Int) {
+	v := limbsToBig(words[:])
+	v.Mod(v, frR)
+	var z Fr
+	z.SetBig(v)
+	return z, v
+}
+
+func TestFpMontgomeryConstants(t *testing.T) {
+	// one must round-trip: Big(one) == 1.
+	one := FpOne()
+	if one.Big().Cmp(big.NewInt(1)) != 0 {
+		t.Fatalf("FpOne canonical value = %s, want 1", one.Big())
+	}
+	// inv * p[0] == -1 mod 2^64
+	if fpInv*fpModulus[0] != ^uint64(0) {
+		t.Fatalf("fpInv incorrect: inv*p0 = %#x", fpInv*fpModulus[0])
+	}
+	if frInv*frModulus[0] != ^uint64(0) {
+		t.Fatalf("frInv incorrect")
+	}
+	// p must be the BLS12-381 prime (spot check against hex literal).
+	wantP, _ := new(big.Int).SetString("1a0111ea397fe69a4b1ba7b6434bacd764774b84f38512bf6730d2a0f6b0f6241eabfffeb153ffffb9feffffffffaaab", 16)
+	if fpP.Cmp(wantP) != 0 {
+		t.Fatalf("fp modulus mismatch")
+	}
+	wantR, _ := new(big.Int).SetString("73eda753299d7d483339d80809a1d80553bda402fffe5bfeffffffff00000001", 16)
+	if frR.Cmp(wantR) != 0 {
+		t.Fatalf("fr modulus mismatch")
+	}
+}
+
+func TestFpMulMatchesBig(t *testing.T) {
+	f := func(aw, bw [6]uint64) bool {
+		a, av := fpFromWords(aw)
+		b, bv := fpFromWords(bw)
+		var z Fp
+		z.Mul(&a, &b)
+		want := new(big.Int).Mul(av, bv)
+		want.Mod(want, fpP)
+		return z.Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFpAddSubNegMatchBig(t *testing.T) {
+	f := func(aw, bw [6]uint64) bool {
+		a, av := fpFromWords(aw)
+		b, bv := fpFromWords(bw)
+		var sum, diff, neg Fp
+		sum.Add(&a, &b)
+		diff.Sub(&a, &b)
+		neg.Neg(&a)
+		wantSum := new(big.Int).Add(av, bv)
+		wantSum.Mod(wantSum, fpP)
+		wantDiff := new(big.Int).Sub(av, bv)
+		wantDiff.Mod(wantDiff, fpP)
+		wantNeg := new(big.Int).Neg(av)
+		wantNeg.Mod(wantNeg, fpP)
+		return sum.Big().Cmp(wantSum) == 0 &&
+			diff.Big().Cmp(wantDiff) == 0 &&
+			neg.Big().Cmp(wantNeg) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFpInverse(t *testing.T) {
+	f := func(aw [6]uint64) bool {
+		a, av := fpFromWords(aw)
+		if av.Sign() == 0 {
+			return true
+		}
+		var inv, prod Fp
+		inv.Inverse(&a)
+		prod.Mul(&a, &inv)
+		return prod.IsOne()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+	var z Fp
+	z.Inverse(&z)
+	if !z.IsZero() {
+		t.Fatal("Inverse(0) should be 0")
+	}
+}
+
+func TestFpSqrt(t *testing.T) {
+	f := func(aw [6]uint64) bool {
+		a, _ := fpFromWords(aw)
+		var sq Fp
+		sq.Square(&a)
+		var root Fp
+		_, ok := root.Sqrt(&sq)
+		if !ok {
+			return false
+		}
+		var chk Fp
+		chk.Square(&root)
+		return chk.Equal(&sq)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFpBytesRoundTrip(t *testing.T) {
+	a, err := RandFp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := a.Bytes()
+	var b Fp
+	if err := b.SetBytes(enc[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(&b) {
+		t.Fatal("Fp bytes round trip failed")
+	}
+	// Non-canonical must be rejected.
+	pBytes := make([]byte, FpBytes)
+	fpP.FillBytes(pBytes)
+	if err := b.SetBytes(pBytes); err == nil {
+		t.Fatal("SetBytes accepted p itself")
+	}
+	if err := b.SetBytes(enc[:47]); err == nil {
+		t.Fatal("SetBytes accepted short input")
+	}
+}
+
+func TestFpCmpAndSign(t *testing.T) {
+	var two, three Fp
+	two.SetUint64(2)
+	three.SetUint64(3)
+	if two.Cmp(&three) != -1 || three.Cmp(&two) != 1 || two.Cmp(&two) != 0 {
+		t.Fatal("Cmp ordering wrong")
+	}
+	if two.Sign() != 0 || three.Sign() != 1 {
+		t.Fatal("Sign parity wrong")
+	}
+}
+
+func TestFrMulMatchesBig(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a, av := frFromWords(aw)
+		b, bv := frFromWords(bw)
+		var z Fr
+		z.Mul(&a, &b)
+		want := new(big.Int).Mul(av, bv)
+		want.Mod(want, frR)
+		return z.Big().Cmp(want) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrAddSubInverse(t *testing.T) {
+	f := func(aw, bw [4]uint64) bool {
+		a, av := frFromWords(aw)
+		b, bv := frFromWords(bw)
+		var sum, diff Fr
+		sum.Add(&a, &b)
+		diff.Sub(&a, &b)
+		wantSum := new(big.Int).Add(av, bv)
+		wantSum.Mod(wantSum, frR)
+		wantDiff := new(big.Int).Sub(av, bv)
+		wantDiff.Mod(wantDiff, frR)
+		if sum.Big().Cmp(wantSum) != 0 || diff.Big().Cmp(wantDiff) != 0 {
+			return false
+		}
+		if av.Sign() != 0 {
+			var inv, prod Fr
+			inv.Inverse(&a)
+			prod.Mul(&a, &inv)
+			if !prod.IsOne() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFrBytesRoundTrip(t *testing.T) {
+	a, err := RandFrNonZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := a.Bytes()
+	var b Fr
+	if err := b.SetBytes(enc[:]); err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(&b) {
+		t.Fatal("Fr bytes round trip failed")
+	}
+	var c Fr
+	c.SetBytesWide(bytes.Repeat([]byte{0xff}, 64))
+	if c.IsZero() {
+		t.Fatal("SetBytesWide produced zero for nonzero input")
+	}
+}
+
+func TestFrSetBigNegative(t *testing.T) {
+	var z Fr
+	z.SetBig(big.NewInt(-1))
+	want := new(big.Int).Sub(frR, big.NewInt(1))
+	if z.Big().Cmp(want) != 0 {
+		t.Fatalf("SetBig(-1) = %s, want r-1", z.Big())
+	}
+}
+
+func TestFpExpMatchesBig(t *testing.T) {
+	a, _ := fpFromWords([6]uint64{7, 0, 0, 0, 0, 0})
+	e := big.NewInt(65537)
+	var z Fp
+	z.Exp(&a, e)
+	want := new(big.Int).Exp(big.NewInt(7), e, fpP)
+	if z.Big().Cmp(want) != 0 {
+		t.Fatal("Exp mismatch vs big.Int")
+	}
+}
+
+func BenchmarkFpMul(b *testing.B) {
+	x, _ := RandFp()
+	y, _ := RandFp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(&x, &y)
+	}
+}
+
+func BenchmarkFpInverse(b *testing.B) {
+	x, _ := RandFp()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Inverse(&x)
+	}
+}
+
+func BenchmarkFrMul(b *testing.B) {
+	x, _ := RandFr()
+	y, _ := RandFr()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		x.Mul(&x, &y)
+	}
+}

@@ -1,0 +1,102 @@
+package framework
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/sandbox"
+)
+
+// TestConcurrentStatusAndInvoke hammers a framework with concurrent
+// status reads, invokes, and updates; run under -race this validates the
+// locking discipline, and in any mode it validates that updates are
+// atomic with respect to invocations (every response comes wholly from
+// one version).
+func TestConcurrentStatusAndInvoke(t *testing.T) {
+	f, dev, _, _ := newTestFramework(t, false)
+	mb := echoModuleBytes(t)
+	if err := f.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan error, 16)
+
+	// Invokers.
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			req := []byte(fmt.Sprintf("worker-%d", w))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := f.Invoke(req)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !bytes.Equal(resp, req) {
+					errs <- fmt.Errorf("echo mismatch: %q", resp)
+					return
+				}
+			}
+		}(w)
+	}
+	// Status readers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				st := f.Status()
+				if st.Version == 0 {
+					errs <- fmt.Errorf("status lost the version")
+					return
+				}
+			}
+		}()
+	}
+	// Updater: pushes versions 2..6.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		base, err := sandbox.Assemble(echoAppSrc)
+		if err != nil {
+			errs <- err
+			return
+		}
+		for v := uint64(2); v <= 6; v++ {
+			m := *base
+			m.Functions = append([]sandbox.Function{}, base.Functions...)
+			m.Functions[0].Code = append(append([]sandbox.Instr{}, base.Functions[0].Code...),
+				make([]sandbox.Instr, v)...)
+			mb := m.Encode()
+			if err := f.Install(v, mb, dev.SignUpdate(v, mb)); err != nil {
+				errs <- err
+				return
+			}
+		}
+		close(stop)
+	}()
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if st := f.Status(); st.Version != 6 || st.LogLen != 6 {
+		t.Fatalf("final status %+v, want version 6 with 6 log entries", st)
+	}
+}

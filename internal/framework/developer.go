@@ -1,0 +1,50 @@
+package framework
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+)
+
+// Developer models the application developer: the holder of the update
+// signing key whose public half is sealed into every trust domain's TEE.
+type Developer struct {
+	priv ed25519.PrivateKey
+	pub  ed25519.PublicKey
+}
+
+// NewDeveloper generates a fresh developer identity.
+func NewDeveloper() (*Developer, error) {
+	pub, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, fmt.Errorf("framework: developer keygen: %w", err)
+	}
+	return &Developer{priv: priv, pub: pub}, nil
+}
+
+// PublicKey returns the update-verification key that trust domains seal.
+func (d *Developer) PublicKey() ed25519.PublicKey {
+	return append(ed25519.PublicKey{}, d.pub...)
+}
+
+// SignUpdate signs (version, moduleBytes) for distribution to the trust
+// domains.
+func (d *Developer) SignUpdate(version uint64, moduleBytes []byte) []byte {
+	return ed25519.Sign(d.priv, updateMessage(version, moduleBytes))
+}
+
+// SignedUpdate bundles everything a trust domain needs to apply an update.
+type SignedUpdate struct {
+	Version     uint64 `json:"version"`
+	ModuleBytes []byte `json:"module_bytes"`
+	DevSig      []byte `json:"dev_sig"`
+}
+
+// PrepareUpdate signs a module for release.
+func (d *Developer) PrepareUpdate(version uint64, moduleBytes []byte) SignedUpdate {
+	return SignedUpdate{
+		Version:     version,
+		ModuleBytes: append([]byte{}, moduleBytes...),
+		DevSig:      d.SignUpdate(version, moduleBytes),
+	}
+}

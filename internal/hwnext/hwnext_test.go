@@ -1,0 +1,145 @@
+package hwnext
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/aolog"
+	"repro/internal/framework"
+	"repro/internal/tee"
+)
+
+func fixture(t *testing.T) (*HardwareFramework, *framework.Developer, tee.RootSet) {
+	t.Helper()
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tee.NewVendor(tee.VendorSimKeystone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := v.Provision("hw-host", MeasureNextGen(dev.PublicKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := New(dev.PublicKey(), enclave)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, dev, tee.RootSet{tee.VendorSimKeystone: v.RootKey()}
+}
+
+func echoApp(tag string) *NativeApp {
+	return &NativeApp{
+		Bytes: []byte("echo-binary-" + tag),
+		Handler: func(req []byte) ([]byte, error) {
+			return append([]byte(tag+":"), req...), nil
+		},
+	}
+}
+
+func TestInstallAndInvoke(t *testing.T) {
+	h, dev, _ := fixture(t)
+	app := echoApp("v1")
+	h.RegisterBinary(app)
+	if err := h.Install(1, app.Bytes, dev.SignUpdate(1, app.Bytes)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := h.Invoke([]byte("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(resp, []byte("v1:ping")) {
+		t.Fatalf("got %q", resp)
+	}
+	st := h.Status()
+	if st.Version != 1 || st.LogLen != 1 || st.Counter != 1 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestUpdateDiscipline(t *testing.T) {
+	h, dev, _ := fixture(t)
+	v1, v2 := echoApp("v1"), echoApp("v2")
+	h.RegisterBinary(v1)
+	h.RegisterBinary(v2)
+	if err := h.Install(1, v1.Bytes, dev.SignUpdate(1, v1.Bytes)); err != nil {
+		t.Fatal(err)
+	}
+	// Wrong signer rejected.
+	mallory, _ := framework.NewDeveloper()
+	if err := h.Install(2, v2.Bytes, mallory.SignUpdate(2, v2.Bytes)); err == nil {
+		t.Fatal("foreign update accepted")
+	}
+	// Rollback rejected.
+	if err := h.Install(1, v2.Bytes, dev.SignUpdate(1, v2.Bytes)); err == nil {
+		t.Fatal("same-version replay accepted")
+	}
+	// Unregistered binary rejected even with valid signature.
+	rogue := []byte("unregistered")
+	if err := h.Install(2, rogue, dev.SignUpdate(2, rogue)); err == nil {
+		t.Fatal("unregistered binary accepted")
+	}
+	// Legitimate update works and the history chains.
+	if err := h.Install(2, v2.Bytes, dev.SignUpdate(2, v2.Bytes)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := h.Invoke([]byte("x"))
+	if err != nil || !bytes.Equal(resp, []byte("v2:x")) {
+		t.Fatalf("update did not take effect: %q %v", resp, err)
+	}
+	st := h.Status()
+	var head aolog.Digest
+	copy(head[:], st.LogHead)
+	if !aolog.VerifyChain(h.History(), head) {
+		t.Fatal("hardware history does not verify")
+	}
+	if st.LogLen != 2 || st.Counter != 2 {
+		t.Fatalf("status %+v", st)
+	}
+}
+
+func TestAttestedStatus(t *testing.T) {
+	h, dev, roots := fixture(t)
+	app := echoApp("v1")
+	h.RegisterBinary(app)
+	if err := h.Install(1, app.Bytes, dev.SignUpdate(1, app.Bytes)); err != nil {
+		t.Fatal(err)
+	}
+	nonce := []byte("client nonce")
+	as := h.AttestedStatus(nonce)
+	if err := tee.VerifyQuote(roots, as.Quote); err != nil {
+		t.Fatal(err)
+	}
+	if as.Quote.Measurement != MeasureNextGen(dev.PublicKey()) {
+		t.Fatal("measurement mismatch")
+	}
+	want := framework.StatusReportData(nonce, &as.Status)
+	if as.Quote.ReportData != want {
+		t.Fatal("status binding mismatch")
+	}
+	// Next-gen and software frameworks must never share a measurement.
+	if MeasureNextGen(dev.PublicKey()) == framework.Measure(dev.PublicKey()) {
+		t.Fatal("hwnext measurement collides with software framework")
+	}
+}
+
+func TestRequiresHardware(t *testing.T) {
+	dev, _ := framework.NewDeveloper()
+	if _, err := New(dev.PublicKey(), nil); err == nil {
+		t.Fatal("next-gen framework without hardware accepted")
+	}
+	v, _ := tee.NewVendor(tee.VendorSimSGX)
+	wrong, _ := v.Provision("h", tee.MeasureCode([]byte("other")))
+	if _, err := New(dev.PublicKey(), wrong); err == nil {
+		t.Fatal("wrong measurement accepted")
+	}
+}
+
+func TestInvokeWithoutInstall(t *testing.T) {
+	h, _, _ := fixture(t)
+	if _, err := h.Invoke([]byte("x")); err == nil {
+		t.Fatal("invoke without app succeeded")
+	}
+}

@@ -1,0 +1,112 @@
+// Package keybackup implements the paper's running example (§1, Fig 1):
+// secret-key backups with distributed trust. A user splits a secret key
+// across n trust domains via Shamir secret sharing; an attacker who
+// compromises the application developer — or any t-1 trust domains —
+// learns nothing, while the user recovers from any t domains.
+//
+// The share each domain stores is wrapped with the domain's sealing
+// mechanism by the caller (see examples/keybackup); this package is the
+// user-side logic: split, escrow bookkeeping, recovery, and an explicit
+// adversary model for tests.
+package keybackup
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+
+	"repro/internal/shamir"
+)
+
+// Backup is the user-side record of an escrowed key.
+type Backup struct {
+	// KeyID identifies the backup (hash of the public part or a name).
+	KeyID string
+	// T is the recovery threshold.
+	T int
+	// N is the number of trust domains holding shares.
+	N int
+	// Checksum commits to the secret so recovery can self-verify.
+	Checksum [sha256.Size]byte
+}
+
+// Escrow splits secret into n authenticated shares with threshold t.
+// The caller sends shares[i] to trust domain i.
+func Escrow(keyID string, secret []byte, t, n int) (*Backup, []shamir.Share, error) {
+	if keyID == "" {
+		return nil, nil, errors.New("keybackup: key ID required")
+	}
+	if len(secret) == 0 {
+		return nil, nil, errors.New("keybackup: empty secret")
+	}
+	shares, err := shamir.SplitAuthenticated(secret, t, n)
+	if err != nil {
+		return nil, nil, fmt.Errorf("keybackup: splitting: %w", err)
+	}
+	b := &Backup{
+		KeyID:    keyID,
+		T:        t,
+		N:        n,
+		Checksum: sha256.Sum256(secret),
+	}
+	return b, shares, nil
+}
+
+// Recover reconstructs the secret from any T shares and verifies it
+// against the backup record.
+func (b *Backup) Recover(shares []shamir.Share) ([]byte, error) {
+	secret, err := shamir.CombineAuthenticated(shares, b.T)
+	if err != nil {
+		return nil, fmt.Errorf("keybackup: recovering %s: %w", b.KeyID, err)
+	}
+	if sha256.Sum256(secret) != b.Checksum {
+		return nil, errors.New("keybackup: recovered secret fails checksum")
+	}
+	return secret, nil
+}
+
+// Refresh proactively re-randomizes all shares (e.g. after rotating trust
+// domains) without changing the secret. All n shares must be gathered.
+func (b *Backup) Refresh(shares []shamir.Share) ([]shamir.Share, error) {
+	if len(shares) != b.N {
+		return nil, fmt.Errorf("keybackup: refresh needs all %d shares, have %d", b.N, len(shares))
+	}
+	return shamir.Refresh(shares, b.T)
+}
+
+// Adversary models an attacker for tests and examples: it records which
+// domains' shares it has stolen.
+type Adversary struct {
+	stolen map[byte][]byte
+}
+
+// NewAdversary creates an adversary with no loot.
+func NewAdversary() *Adversary {
+	return &Adversary{stolen: make(map[byte][]byte)}
+}
+
+// Compromise records the share held by one trust domain.
+func (a *Adversary) Compromise(s shamir.Share) {
+	a.stolen[s.X] = append([]byte{}, s.Y...)
+}
+
+// NumCompromised returns how many distinct domains were breached.
+func (a *Adversary) NumCompromised() int { return len(a.stolen) }
+
+// AttemptRecovery tries to reconstruct the secret from stolen shares.
+// It returns (secret, true) only if the attacker actually holds enough
+// valid shares; a failed attempt returns (nil, false).
+func (a *Adversary) AttemptRecovery(b *Backup) ([]byte, bool) {
+	if len(a.stolen) < b.T {
+		return nil, false
+	}
+	shares := make([]shamir.Share, 0, len(a.stolen))
+	for x, y := range a.stolen {
+		shares = append(shares, shamir.Share{X: x, Y: y})
+	}
+	secret, err := b.Recover(shares[:b.T])
+	if err != nil {
+		return nil, false
+	}
+	return secret, true
+}

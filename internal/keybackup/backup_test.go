@@ -1,0 +1,131 @@
+package keybackup
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+func testSecret(t *testing.T) []byte {
+	t.Helper()
+	secret := make([]byte, 32)
+	if _, err := rand.Read(secret); err != nil {
+		t.Fatal(err)
+	}
+	return secret
+}
+
+func TestEscrowRecover(t *testing.T) {
+	secret := testSecret(t)
+	b, shares, err := Escrow("wallet-key", secret, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shares) != 3 || b.T != 2 || b.N != 3 {
+		t.Fatal("wrong escrow shape")
+	}
+	got, err := b.Recover(shares[1:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, secret) {
+		t.Fatal("recovery mismatch")
+	}
+}
+
+func TestRecoverTooFewShares(t *testing.T) {
+	secret := testSecret(t)
+	b, shares, err := Escrow("k", secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recover(shares[:2]); err == nil {
+		t.Fatal("recovered from t-1 shares")
+	}
+}
+
+func TestRecoverCorruptShareDetected(t *testing.T) {
+	secret := testSecret(t)
+	b, shares, err := Escrow("k", secret, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares[0].Y[5] ^= 0x40
+	if _, err := b.Recover(shares[:2]); err == nil {
+		t.Fatal("corrupted share not detected")
+	}
+}
+
+func TestFig1Scenario(t *testing.T) {
+	// Figure 1: the application developer is compromised; the attacker
+	// reads every domain the developer controls, but one trust domain is
+	// independent. The user's key survives.
+	secret := testSecret(t)
+	b, shares, err := Escrow("user-e2ee-key", secret, 3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewAdversary()
+	adv.Compromise(shares[0])
+	adv.Compromise(shares[1])
+	if adv.NumCompromised() != 2 {
+		t.Fatal("bookkeeping wrong")
+	}
+	if _, ok := adv.AttemptRecovery(b); ok {
+		t.Fatal("attacker with n-1 domains recovered the key")
+	}
+	// Full compromise (all n domains) does succeed: distributed trust is
+	// a threshold guarantee, not magic.
+	adv.Compromise(shares[2])
+	stolen, ok := adv.AttemptRecovery(b)
+	if !ok || !bytes.Equal(stolen, secret) {
+		t.Fatal("full compromise should recover (sanity check)")
+	}
+	// The legitimate user still recovers too.
+	got, err := b.Recover(shares)
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatal("user recovery failed")
+	}
+}
+
+func TestRefreshInvalidatesOldLoot(t *testing.T) {
+	secret := testSecret(t)
+	b, shares, err := Escrow("k", secret, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv := NewAdversary()
+	adv.Compromise(shares[0])
+
+	refreshed, err := b.Refresh(shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New shares still recover.
+	got, err := b.Recover(refreshed[:2])
+	if err != nil || !bytes.Equal(got, secret) {
+		t.Fatal("recovery after refresh failed")
+	}
+	// Attacker later steals ONE refreshed share: old + new loot spans two
+	// epochs and must not combine.
+	adv.Compromise(refreshed[1])
+	if _, ok := adv.AttemptRecovery(b); ok {
+		t.Fatal("cross-epoch shares recovered the key")
+	}
+}
+
+func TestEscrowValidation(t *testing.T) {
+	if _, _, err := Escrow("", []byte("s"), 2, 3); err == nil {
+		t.Fatal("empty key ID accepted")
+	}
+	if _, _, err := Escrow("k", nil, 2, 3); err == nil {
+		t.Fatal("empty secret accepted")
+	}
+	if _, _, err := Escrow("k", []byte("s"), 4, 3); err == nil {
+		t.Fatal("t > n accepted")
+	}
+	b, shares, _ := Escrow("k", []byte("s"), 2, 3)
+	if _, err := b.Refresh(shares[:2]); err == nil {
+		t.Fatal("refresh with missing shares accepted")
+	}
+}

@@ -1,0 +1,197 @@
+// Package monitor implements a certificate-transparency-style public
+// witness for distributed-trust deployments. The paper's audit protocol
+// lets one client cross-check the n trust domains; a monitor closes the
+// remaining gap — a domain showing *different* consistent views to
+// different clients (a split view) — by having clients gossip the
+// attested statuses they observe to a public, Merkle-logged witness:
+//
+//   - every submitted status envelope is re-verified, then appended to a
+//     public Merkle log (so the monitor itself is auditable via
+//     inclusion/consistency proofs and signed tree heads);
+//   - per domain, the monitor keeps the timeline of observed (counter,
+//     log length, head) triples and flags any pair of observations that
+//     contradict an honest append-only execution, emitting the same
+//     publicly verifiable Misbehavior proofs as the audit package.
+//
+// This is the deployment of the paper's "clients and third-party
+// auditors" role (§1, §3.3) on top of the aolog building block.
+package monitor
+
+import (
+	"bytes"
+	"crypto/ed25519"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"repro/internal/aolog"
+	"repro/internal/audit"
+)
+
+// Observation is one remembered attested status.
+type Observation struct {
+	Envelope audit.AttestedStatusEnvelope
+	LogIndex int // index in the monitor's public Merkle log
+}
+
+// Monitor is a public witness. Safe for concurrent use.
+type Monitor struct {
+	params audit.Params
+	signer ed25519.PrivateKey
+	pub    ed25519.PublicKey
+
+	mu     sync.Mutex
+	log    aolog.MerkleLog
+	perDom map[string][]Observation
+	alerts []audit.Misbehavior
+}
+
+// New creates a monitor for a deployment. The ed25519 key signs tree
+// heads; generate one per monitor identity.
+func New(params audit.Params, signer ed25519.PrivateKey) *Monitor {
+	return &Monitor{
+		params: params,
+		signer: signer,
+		pub:    signer.Public().(ed25519.PublicKey),
+		perDom: make(map[string][]Observation),
+	}
+}
+
+// PublicKey returns the monitor's tree-head signing key.
+func (m *Monitor) PublicKey() ed25519.PublicKey {
+	return append(ed25519.PublicKey{}, m.pub...)
+}
+
+// Submit verifies and ingests a status envelope observed by some client.
+// It returns the Merkle log index of the accepted submission, and any
+// misbehavior proof the new observation completes.
+func (m *Monitor) Submit(env *audit.AttestedStatusEnvelope) (int, *audit.Misbehavior, error) {
+	if err := audit.VerifyStatusEnvelope(&m.params, env); err != nil {
+		// A wrong measurement is itself reportable; other verification
+		// failures are unattributable garbage and rejected.
+		if _, ok := err.(*audit.MeasurementError); ok {
+			proof := &audit.Misbehavior{
+				Kind:    audit.MisbehaviorWrongMeasurement,
+				Domain:  env.Resp.Domain,
+				StatusA: env,
+			}
+			m.record(env, proof)
+			idx := m.append(env)
+			return idx, proof, nil
+		}
+		return 0, nil, fmt.Errorf("monitor: rejecting submission: %w", err)
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	name := env.Resp.Domain
+	var proof *audit.Misbehavior
+	for i := range m.perDom[name] {
+		prev := &m.perDom[name][i].Envelope
+		if p := contradiction(prev, env, name); p != nil {
+			proof = p
+			m.alerts = append(m.alerts, *p)
+			break
+		}
+	}
+	idx := m.appendLocked(env)
+	m.perDom[name] = append(m.perDom[name], Observation{Envelope: *env, LogIndex: idx})
+	return idx, proof, nil
+}
+
+// contradiction decides whether two verified statuses from one domain
+// are mutually inconsistent with honest append-only execution.
+func contradiction(a, b *audit.AttestedStatusEnvelope, name string) *audit.Misbehavior {
+	sa, sb := a.Resp.Status, b.Resp.Status
+	switch {
+	case sa.LogLen == sb.LogLen && !bytes.Equal(sa.LogHead, sb.LogHead):
+		return &audit.Misbehavior{
+			Kind: audit.MisbehaviorEquivocation, Domain: name,
+			StatusA: a, StatusB: b,
+		}
+	case sa.LogLen == sb.LogLen && sa.Version != sb.Version,
+		sa.Version == sb.Version && sa.LogLen != sb.LogLen:
+		return &audit.Misbehavior{
+			Kind: audit.MisbehaviorRollback, Domain: name,
+			StatusA: a, StatusB: b,
+		}
+	case sb.Counter > sa.Counter && (sb.LogLen < sa.LogLen || sb.Version < sa.Version):
+		return &audit.Misbehavior{
+			Kind: audit.MisbehaviorRollback, Domain: name,
+			StatusA: a, StatusB: b,
+		}
+	case sa.Counter > sb.Counter && (sa.LogLen < sb.LogLen || sa.Version < sb.Version):
+		return &audit.Misbehavior{
+			Kind: audit.MisbehaviorRollback, Domain: name,
+			StatusA: b, StatusB: a,
+		}
+	}
+	return nil
+}
+
+func (m *Monitor) record(env *audit.AttestedStatusEnvelope, proof *audit.Misbehavior) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.alerts = append(m.alerts, *proof)
+	m.perDom[env.Resp.Domain] = append(m.perDom[env.Resp.Domain],
+		Observation{Envelope: *env, LogIndex: m.log.Len()})
+}
+
+func (m *Monitor) append(env *audit.AttestedStatusEnvelope) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.appendLocked(env)
+}
+
+func (m *Monitor) appendLocked(env *audit.AttestedStatusEnvelope) int {
+	payload, err := json.Marshal(env)
+	if err != nil {
+		panic("monitor: envelope must marshal: " + err.Error())
+	}
+	return m.log.Append(payload)
+}
+
+// Alerts returns all misbehavior proofs accumulated so far.
+func (m *Monitor) Alerts() []audit.Misbehavior {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]audit.Misbehavior{}, m.alerts...)
+}
+
+// TreeHead returns the signed head of the monitor's public log.
+func (m *Monitor) TreeHead() aolog.SignedHead {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return aolog.SignHead(m.signer, uint64(m.log.Len()), m.log.Root())
+}
+
+// ProveInclusion returns the payload at index plus its inclusion proof
+// against the current tree.
+func (m *Monitor) ProveInclusion(index int) ([]byte, *aolog.InclusionProof, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	payload, err := m.log.Entry(index)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := m.log.ProveInclusion(index, m.log.Len())
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, proof, nil
+}
+
+// ProveConsistency proves the monitor's log grew append-only between two
+// sizes (what monitors of the monitor check).
+func (m *Monitor) ProveConsistency(oldSize int) (*aolog.ConsistencyProof, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.ProveConsistency(oldSize, m.log.Len())
+}
+
+// Observations returns the recorded observation count for a domain.
+func (m *Monitor) Observations(domain string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.perDom[domain])
+}

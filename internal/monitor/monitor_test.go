@@ -1,0 +1,277 @@
+package monitor
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"encoding/json"
+	"testing"
+
+	"repro/internal/aolog"
+	"repro/internal/audit"
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+	"repro/internal/domain"
+	"repro/internal/framework"
+	"repro/internal/sandbox"
+	"repro/internal/tee"
+)
+
+// fixture builds an enclave-backed framework whose attested statuses can
+// be fed to the monitor, plus matching params.
+type fixture struct {
+	dev     *framework.Developer
+	enclave *tee.Enclave
+	params  audit.Params
+	mon     *Monitor
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tee.NewVendor(tee.VendorSimSGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enclave, err := v.Provision("host", framework.Measure(dev.PublicKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := audit.Params{
+		Roots:       tee.RootSet{tee.VendorSimSGX: v.RootKey()},
+		Measurement: framework.Measure(dev.PublicKey()),
+		Domains:     []audit.DomainInfo{{Name: "d1", HasTEE: true}},
+	}
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{dev: dev, enclave: enclave, params: params, mon: New(params, priv)}
+}
+
+func (f *fixture) newFramework(t *testing.T, moduleBytes []byte) *framework.Framework {
+	t.Helper()
+	_, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := framework.New(f.dev.PublicKey(), f.enclave, blsapp.Hosts(&shares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Install(1, moduleBytes, f.dev.SignUpdate(1, moduleBytes)); err != nil {
+		t.Fatal(err)
+	}
+	return fw
+}
+
+func envelope(fw *framework.Framework, nonce string) *audit.AttestedStatusEnvelope {
+	as := fw.AttestedStatus([]byte(nonce))
+	return &audit.AttestedStatusEnvelope{
+		Nonce: []byte(nonce),
+		Resp:  domain.StatusResponse{Domain: "d1", Status: as.Status, Quote: as.Quote},
+	}
+}
+
+func TestHonestTimelineNoAlerts(t *testing.T) {
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	for i := 0; i < 3; i++ {
+		idx, proof, err := f.mon.Submit(envelope(fw, "n"+string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if proof != nil {
+			t.Fatalf("honest submission %d flagged: %s", i, proof.Kind)
+		}
+		if idx != i {
+			t.Fatalf("log index %d, want %d", idx, i)
+		}
+	}
+	if len(f.mon.Alerts()) != 0 {
+		t.Fatal("alerts for honest timeline")
+	}
+	if f.mon.Observations("d1") != 3 {
+		t.Fatal("observation count wrong")
+	}
+}
+
+func TestSplitViewDetected(t *testing.T) {
+	// Two clients see two different framework instances on the same
+	// enclave (a split view). Individually each view verifies; the
+	// monitor's gossip catches the contradiction.
+	f := newFixture(t)
+	fwA := f.newFramework(t, blsapp.ModuleBytes())
+	mB := blsapp.Module()
+	mB.Functions[0].Code = append(mB.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	fwB := f.newFramework(t, mB.Encode())
+
+	if _, proof, err := f.mon.Submit(envelope(fwA, "clientA")); err != nil || proof != nil {
+		t.Fatalf("first view rejected: %v %v", err, proof)
+	}
+	_, proof, err := f.mon.Submit(envelope(fwB, "clientB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof == nil {
+		t.Fatal("split view not detected")
+	}
+	if proof.Kind != audit.MisbehaviorEquivocation {
+		t.Fatalf("kind = %s, want equivocation", proof.Kind)
+	}
+	// The emitted proof is publicly verifiable.
+	if err := audit.VerifyMisbehavior(&f.params, proof); err != nil {
+		t.Fatalf("monitor proof rejected: %v", err)
+	}
+	if len(f.mon.Alerts()) != 1 {
+		t.Fatal("alert not recorded")
+	}
+}
+
+func TestRollbackAcrossClientsDetected(t *testing.T) {
+	f := newFixture(t)
+	fw1 := f.newFramework(t, blsapp.ModuleBytes())
+	m2 := blsapp.Module()
+	m2.Functions[0].Code = append(m2.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	mb2 := m2.Encode()
+	if err := fw1.Install(2, mb2, f.dev.SignUpdate(2, mb2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, proof, err := f.mon.Submit(envelope(fw1, "before")); err != nil || proof != nil {
+		t.Fatalf("pre-rollback submission flagged: %v %v", err, proof)
+	}
+	// Operator wipes and reinstalls v1 (counter keeps advancing).
+	fw2 := f.newFramework(t, blsapp.ModuleBytes())
+	_, proof, err := f.mon.Submit(envelope(fw2, "after"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof == nil || proof.Kind != audit.MisbehaviorRollback {
+		t.Fatalf("rollback not detected: %+v", proof)
+	}
+	if err := audit.VerifyMisbehavior(&f.params, proof); err != nil {
+		t.Fatalf("rollback proof rejected: %v", err)
+	}
+}
+
+func TestGarbageSubmissionRejected(t *testing.T) {
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	env := envelope(fw, "n")
+	env.Resp.Status.Version++ // breaks the quote binding
+	if _, _, err := f.mon.Submit(env); err == nil {
+		t.Fatal("tampered envelope accepted")
+	}
+	if f.mon.Observations("d1") != 0 {
+		t.Fatal("garbage recorded")
+	}
+}
+
+func TestWrongMeasurementReported(t *testing.T) {
+	// An impostor enclave from the same pinned vendor attesting to a
+	// different measurement: the monitor accepts the submission (the
+	// quote is genuine) and emits a wrong-measurement proof.
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := tee.NewVendor(tee.VendorSimSGX)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := audit.Params{
+		Roots:       tee.RootSet{tee.VendorSimSGX: v.RootKey()},
+		Measurement: framework.Measure(dev.PublicKey()), // published
+		Domains:     []audit.DomainInfo{{Name: "d1", HasTEE: true}},
+	}
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := New(params, priv)
+
+	impEnclave, err := v.Provision("host", framework.Measure(imp.PublicKey()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := framework.New(imp.PublicKey(), impEnclave, blsapp.Hosts(&shares[0]))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := blsapp.ModuleBytes()
+	if err := fw.Install(1, mb, imp.SignUpdate(1, mb)); err != nil {
+		t.Fatal(err)
+	}
+	as := fw.AttestedStatus([]byte("n"))
+	env := &audit.AttestedStatusEnvelope{
+		Nonce: []byte("n"),
+		Resp:  domain.StatusResponse{Domain: "d1", Status: as.Status, Quote: as.Quote},
+	}
+	_, proof, err := mon.Submit(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof == nil || proof.Kind != audit.MisbehaviorWrongMeasurement {
+		t.Fatalf("wrong measurement not reported: %+v", proof)
+	}
+	if err := audit.VerifyMisbehavior(&params, proof); err != nil {
+		t.Fatalf("proof rejected: %v", err)
+	}
+}
+
+func TestMonitorPublicLogAuditable(t *testing.T) {
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	var idxs []int
+	for i := 0; i < 5; i++ {
+		idx, _, err := f.mon.Submit(envelope(fw, "n"+string(rune('0'+i))))
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs = append(idxs, idx)
+	}
+	head1 := f.mon.TreeHead()
+	if !aolog.VerifyHead(f.mon.PublicKey(), &head1) {
+		t.Fatal("tree head signature invalid")
+	}
+	// Inclusion of an early submission in the current tree.
+	payload, proof, err := f.mon.ProveInclusion(idxs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var root aolog.Digest
+	copy(root[:], head1.Head[:])
+	if !aolog.VerifyInclusion(payload, proof, root) {
+		t.Fatal("inclusion proof failed")
+	}
+	// The logged payload decodes back to a verifiable envelope.
+	var env audit.AttestedStatusEnvelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		t.Fatal(err)
+	}
+	if err := audit.VerifyStatusEnvelope(&f.params, &env); err != nil {
+		t.Fatalf("logged envelope no longer verifies: %v", err)
+	}
+	// Consistency between an old head and the grown log.
+	if _, _, err := f.mon.Submit(envelope(fw, "n9")); err != nil {
+		t.Fatal(err)
+	}
+	head2 := f.mon.TreeHead()
+	cons, err := f.mon.ProveConsistency(int(head1.Size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aolog.VerifyConsistency(head1.Head, head2.Head, cons) {
+		t.Fatal("monitor log consistency proof failed")
+	}
+}

@@ -1,0 +1,271 @@
+package sandbox
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble compiles the sandbox assembly language into a validated Module.
+// The language is line-oriented:
+//
+//	module memory=65536          ; memory declaration, once, first
+//	import bls_sign_share        ; host imports, in hostcall-index order
+//	data 1024 str:hello          ; data segment, string form
+//	data 2048 hex:deadbeef       ; data segment, hex form
+//	func handle params=2 locals=1 results=1
+//	    push 42
+//	    localget 0
+//	    add
+//	loop:                        ; label
+//	    dup
+//	    brif loop                ; branch to label
+//	    call helper              ; call by function name
+//	    hostcall bls_sign_share  ; host call by import name
+//	    ret
+//	end
+//
+// Comments start with ';' or '#'. Immediates are decimal or 0x-hex.
+func Assemble(src string) (*Module, error) {
+	m := &Module{}
+	type pendingRef struct {
+		fnIndex int
+		pc      int
+		name    string
+		kind    string // "label", "call"
+	}
+	var pending []pendingRef
+	labels := map[string]int{} // scoped per function: cleared at func
+	var cur *Function
+	curIndex := -1
+	sawModule := false
+
+	flushFunc := func() error {
+		if cur == nil {
+			return nil
+		}
+		// Resolve labels for this function.
+		for _, p := range pending {
+			if p.fnIndex != curIndex || p.kind != "label" {
+				continue
+			}
+			target, ok := labels[p.name]
+			if !ok {
+				return fmt.Errorf("sandbox asm: function %q: undefined label %q", cur.Name, p.name)
+			}
+			cur.Code[p.pc].Imm = int64(target)
+		}
+		rest := pending[:0]
+		for _, p := range pending {
+			if p.kind != "label" || p.fnIndex != curIndex {
+				rest = append(rest, p)
+			}
+		}
+		pending = rest
+		m.Functions = append(m.Functions, *cur)
+		cur = nil
+		labels = map[string]int{}
+		return nil
+	}
+
+	lines := strings.Split(src, "\n")
+	for ln, raw := range lines {
+		line := raw
+		if i := strings.IndexAny(line, ";#"); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		errf := func(format string, a ...any) error {
+			return fmt.Errorf("sandbox asm: line %d: %s", ln+1, fmt.Sprintf(format, a...))
+		}
+
+		switch {
+		case fields[0] == "module":
+			if sawModule {
+				return nil, errf("duplicate module line")
+			}
+			sawModule = true
+			for _, f := range fields[1:] {
+				if v, ok := strings.CutPrefix(f, "memory="); ok {
+					n, err := parseImm(v)
+					if err != nil {
+						return nil, errf("bad memory size: %v", err)
+					}
+					m.MemoryBytes = int(n)
+				}
+			}
+
+		case fields[0] == "import":
+			if len(fields) != 2 {
+				return nil, errf("import takes one name")
+			}
+			m.HostImports = append(m.HostImports, fields[1])
+
+		case fields[0] == "data":
+			if len(fields) != 3 {
+				return nil, errf("data takes offset and payload")
+			}
+			off, err := parseImm(fields[1])
+			if err != nil {
+				return nil, errf("bad data offset: %v", err)
+			}
+			var payload []byte
+			switch {
+			case strings.HasPrefix(fields[2], "str:"):
+				payload = []byte(strings.TrimPrefix(fields[2], "str:"))
+			case strings.HasPrefix(fields[2], "hex:"):
+				payload, err = hex.DecodeString(strings.TrimPrefix(fields[2], "hex:"))
+				if err != nil {
+					return nil, errf("bad hex data: %v", err)
+				}
+			default:
+				return nil, errf("data payload must be str: or hex:")
+			}
+			m.Data = append(m.Data, DataSegment{Offset: int(off), Bytes: payload})
+
+		case fields[0] == "func":
+			if err := flushFunc(); err != nil {
+				return nil, err
+			}
+			if len(fields) < 2 {
+				return nil, errf("func needs a name")
+			}
+			cur = &Function{Name: fields[1]}
+			curIndex = len(m.Functions)
+			for _, f := range fields[2:] {
+				if v, ok := strings.CutPrefix(f, "params="); ok {
+					n, err := parseImm(v)
+					if err != nil {
+						return nil, errf("bad params: %v", err)
+					}
+					cur.NumParams = int(n)
+				} else if v, ok := strings.CutPrefix(f, "locals="); ok {
+					n, err := parseImm(v)
+					if err != nil {
+						return nil, errf("bad locals: %v", err)
+					}
+					cur.NumLocals = int(n)
+				} else if v, ok := strings.CutPrefix(f, "results="); ok {
+					n, err := parseImm(v)
+					if err != nil {
+						return nil, errf("bad results: %v", err)
+					}
+					cur.NumResults = int(n)
+				} else {
+					return nil, errf("unknown func attribute %q", f)
+				}
+			}
+
+		case fields[0] == "end":
+			if cur == nil {
+				return nil, errf("end outside function")
+			}
+			if err := flushFunc(); err != nil {
+				return nil, err
+			}
+
+		case strings.HasSuffix(fields[0], ":"):
+			if cur == nil {
+				return nil, errf("label outside function")
+			}
+			name := strings.TrimSuffix(fields[0], ":")
+			if _, dup := labels[name]; dup {
+				return nil, errf("duplicate label %q", name)
+			}
+			labels[name] = len(cur.Code)
+
+		default:
+			if cur == nil {
+				return nil, errf("instruction outside function")
+			}
+			op, ok := opByName[fields[0]]
+			if !ok {
+				return nil, errf("unknown mnemonic %q", fields[0])
+			}
+			in := Instr{Op: op}
+			if op.HasImm() {
+				if len(fields) != 2 {
+					return nil, errf("%s takes one operand", op)
+				}
+				switch op {
+				case OpBr, OpBrIf:
+					pending = append(pending, pendingRef{curIndex, len(cur.Code), fields[1], "label"})
+				case OpCall:
+					pending = append(pending, pendingRef{curIndex, len(cur.Code), fields[1], "call"})
+				case OpHostCall:
+					idx := -1
+					for i, h := range m.HostImports {
+						if h == fields[1] {
+							idx = i
+							break
+						}
+					}
+					if idx < 0 {
+						return nil, errf("hostcall references undeclared import %q", fields[1])
+					}
+					in.Imm = int64(idx)
+				default:
+					v, err := parseImm(fields[1])
+					if err != nil {
+						return nil, errf("bad immediate: %v", err)
+					}
+					in.Imm = v
+				}
+			} else if len(fields) != 1 {
+				return nil, errf("%s takes no operand", op)
+			}
+			cur.Code = append(cur.Code, in)
+		}
+	}
+	if err := flushFunc(); err != nil {
+		return nil, err
+	}
+
+	// Resolve call targets by function name.
+	for _, p := range pending {
+		if p.kind != "call" {
+			return nil, fmt.Errorf("sandbox asm: unresolved label %q", p.name)
+		}
+		idx, err := m.FunctionIndex(p.name)
+		if err != nil {
+			return nil, fmt.Errorf("sandbox asm: call to undefined function %q", p.name)
+		}
+		m.Functions[p.fnIndex].Code[p.pc].Imm = int64(idx)
+	}
+
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// MustAssemble is Assemble that panics on error; for tests and embedded
+// program literals whose validity is a program invariant.
+func MustAssemble(src string) *Module {
+	m, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func parseImm(s string) (int64, error) {
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "-0x") {
+		neg := strings.HasPrefix(s, "-")
+		hexPart := strings.TrimPrefix(strings.TrimPrefix(s, "-"), "0x")
+		v, err := strconv.ParseUint(hexPart, 16, 64)
+		if err != nil {
+			return 0, err
+		}
+		if neg {
+			return -int64(v), nil
+		}
+		return int64(v), nil
+	}
+	return strconv.ParseInt(s, 10, 64)
+}

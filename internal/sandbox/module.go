@@ -1,0 +1,306 @@
+package sandbox
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Function is a validated bytecode function.
+type Function struct {
+	Name       string
+	NumParams  int
+	NumLocals  int // locals beyond the parameters
+	NumResults int // 0 or 1
+	Code       []Instr
+}
+
+// Module is a sandboxed code unit: functions, a linear memory declaration,
+// data segments copied into memory at instantiation, and named host
+// imports the module expects the embedder to provide.
+type Module struct {
+	Functions   []Function
+	MemoryBytes int // linear memory size
+	Data        []DataSegment
+	HostImports []string // index in this slice = hostcall immediate
+}
+
+// DataSegment is initial memory content.
+type DataSegment struct {
+	Offset int
+	Bytes  []byte
+}
+
+// Limits applied at validation time.
+const (
+	MaxFunctions   = 1 << 12
+	MaxCodeLen     = 1 << 20
+	MaxMemoryBytes = 1 << 26 // 64 MiB
+	MaxLocals      = 1 << 10
+	MaxHostImports = 1 << 8
+)
+
+// moduleMagic and moduleVersion head the binary encoding.
+var moduleMagic = [4]byte{'R', 'S', 'B', 'X'}
+
+const moduleVersion = 1
+
+// Digest returns the SHA-256 of the module's canonical encoding: this is
+// the "code digest" the framework logs and the TEEs attest to.
+func (m *Module) Digest() [sha256.Size]byte {
+	return sha256.Sum256(m.Encode())
+}
+
+// Encode serializes the module canonically.
+func (m *Module) Encode() []byte {
+	var buf bytes.Buffer
+	buf.Write(moduleMagic[:])
+	writeU32(&buf, moduleVersion)
+	writeU32(&buf, uint32(m.MemoryBytes))
+
+	writeU32(&buf, uint32(len(m.HostImports)))
+	for _, h := range m.HostImports {
+		writeBytes(&buf, []byte(h))
+	}
+
+	writeU32(&buf, uint32(len(m.Data)))
+	for _, d := range m.Data {
+		writeU32(&buf, uint32(d.Offset))
+		writeBytes(&buf, d.Bytes)
+	}
+
+	writeU32(&buf, uint32(len(m.Functions)))
+	for _, f := range m.Functions {
+		writeBytes(&buf, []byte(f.Name))
+		writeU32(&buf, uint32(f.NumParams))
+		writeU32(&buf, uint32(f.NumLocals))
+		writeU32(&buf, uint32(f.NumResults))
+		writeU32(&buf, uint32(len(f.Code)))
+		for _, in := range f.Code {
+			buf.WriteByte(byte(in.Op))
+			if in.Op.HasImm() {
+				var imm [8]byte
+				binary.LittleEndian.PutUint64(imm[:], uint64(in.Imm))
+				buf.Write(imm[:])
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// Decode parses and validates a module encoding.
+func Decode(in []byte) (*Module, error) {
+	r := &reader{buf: in}
+	var magic [4]byte
+	r.read(magic[:])
+	if magic != moduleMagic {
+		return nil, errors.New("sandbox: bad module magic")
+	}
+	if v := r.u32(); v != moduleVersion {
+		return nil, fmt.Errorf("sandbox: unsupported module version %d", v)
+	}
+	var m Module
+	m.MemoryBytes = int(r.u32())
+
+	nImports := int(r.u32())
+	if nImports > MaxHostImports {
+		return nil, fmt.Errorf("sandbox: too many host imports (%d)", nImports)
+	}
+	for i := 0; i < nImports; i++ {
+		m.HostImports = append(m.HostImports, string(r.bytes()))
+	}
+
+	nData := int(r.u32())
+	for i := 0; i < nData && r.err == nil; i++ {
+		off := int(r.u32())
+		b := r.bytes()
+		m.Data = append(m.Data, DataSegment{Offset: off, Bytes: append([]byte{}, b...)})
+	}
+
+	nFuncs := int(r.u32())
+	if nFuncs > MaxFunctions {
+		return nil, fmt.Errorf("sandbox: too many functions (%d)", nFuncs)
+	}
+	for i := 0; i < nFuncs && r.err == nil; i++ {
+		var f Function
+		f.Name = string(r.bytes())
+		f.NumParams = int(r.u32())
+		f.NumLocals = int(r.u32())
+		f.NumResults = int(r.u32())
+		codeLen := int(r.u32())
+		if codeLen > MaxCodeLen {
+			return nil, fmt.Errorf("sandbox: function %q too large", f.Name)
+		}
+		for j := 0; j < codeLen && r.err == nil; j++ {
+			op := Op(r.byte())
+			var imm int64
+			if op.Valid() && op.HasImm() {
+				imm = int64(r.u64())
+			}
+			f.Code = append(f.Code, Instr{Op: op, Imm: imm})
+		}
+		m.Functions = append(m.Functions, f)
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("sandbox: truncated module: %w", r.err)
+	}
+	if r.off != len(in) {
+		return nil, errors.New("sandbox: trailing bytes after module")
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Validate checks structural invariants so the interpreter can rely on
+// them without per-instruction re-checks (beyond memory bounds and stack
+// underflow, which depend on runtime values).
+func (m *Module) Validate() error {
+	if m.MemoryBytes < 0 || m.MemoryBytes > MaxMemoryBytes {
+		return fmt.Errorf("sandbox: memory size %d out of range", m.MemoryBytes)
+	}
+	if len(m.Functions) == 0 {
+		return errors.New("sandbox: module has no functions")
+	}
+	if len(m.Functions) > MaxFunctions {
+		return errors.New("sandbox: too many functions")
+	}
+	if len(m.HostImports) > MaxHostImports {
+		return errors.New("sandbox: too many host imports")
+	}
+	seen := map[string]bool{}
+	for _, h := range m.HostImports {
+		if h == "" {
+			return errors.New("sandbox: empty host import name")
+		}
+		if seen[h] {
+			return fmt.Errorf("sandbox: duplicate host import %q", h)
+		}
+		seen[h] = true
+	}
+	for _, d := range m.Data {
+		if d.Offset < 0 || d.Offset+len(d.Bytes) > m.MemoryBytes {
+			return fmt.Errorf("sandbox: data segment [%d,%d) outside memory", d.Offset, d.Offset+len(d.Bytes))
+		}
+	}
+	names := map[string]bool{}
+	for fi, f := range m.Functions {
+		if f.Name == "" {
+			return fmt.Errorf("sandbox: function %d unnamed", fi)
+		}
+		if names[f.Name] {
+			return fmt.Errorf("sandbox: duplicate function name %q", f.Name)
+		}
+		names[f.Name] = true
+		if f.NumParams < 0 || f.NumLocals < 0 || f.NumParams+f.NumLocals > MaxLocals {
+			return fmt.Errorf("sandbox: function %q has too many locals", f.Name)
+		}
+		if f.NumResults != 0 && f.NumResults != 1 {
+			return fmt.Errorf("sandbox: function %q must return 0 or 1 values", f.Name)
+		}
+		if len(f.Code) == 0 {
+			return fmt.Errorf("sandbox: function %q has empty body", f.Name)
+		}
+		nLocals := f.NumParams + f.NumLocals
+		for pc, in := range f.Code {
+			if !in.Op.Valid() {
+				return fmt.Errorf("sandbox: function %q pc %d: invalid opcode %d", f.Name, pc, in.Op)
+			}
+			switch in.Op {
+			case OpBr, OpBrIf:
+				if in.Imm < 0 || in.Imm >= int64(len(f.Code)) {
+					return fmt.Errorf("sandbox: function %q pc %d: branch target %d out of range", f.Name, pc, in.Imm)
+				}
+			case OpCall:
+				if in.Imm < 0 || in.Imm >= int64(len(m.Functions)) {
+					return fmt.Errorf("sandbox: function %q pc %d: call target %d out of range", f.Name, pc, in.Imm)
+				}
+			case OpLocalGet, OpLocalSet:
+				if in.Imm < 0 || in.Imm >= int64(nLocals) {
+					return fmt.Errorf("sandbox: function %q pc %d: local %d out of range", f.Name, pc, in.Imm)
+				}
+			case OpHostCall:
+				if in.Imm < 0 || in.Imm >= int64(len(m.HostImports)) {
+					return fmt.Errorf("sandbox: function %q pc %d: host import %d out of range", f.Name, pc, in.Imm)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// FunctionIndex returns the index of the named function.
+func (m *Module) FunctionIndex(name string) (int, error) {
+	for i, f := range m.Functions {
+		if f.Name == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("sandbox: no function named %q", name)
+}
+
+// binary helpers
+
+func writeU32(buf *bytes.Buffer, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	buf.Write(b[:])
+}
+
+func writeBytes(buf *bytes.Buffer, b []byte) {
+	writeU32(buf, uint32(len(b)))
+	buf.Write(b)
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) read(dst []byte) {
+	if r.err != nil {
+		return
+	}
+	if r.off+len(dst) > len(r.buf) {
+		r.err = errors.New("unexpected end of input")
+		return
+	}
+	copy(dst, r.buf[r.off:])
+	r.off += len(dst)
+}
+
+func (r *reader) byte() byte {
+	var b [1]byte
+	r.read(b[:])
+	return b[0]
+}
+
+func (r *reader) u32() uint32 {
+	var b [4]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+func (r *reader) u64() uint64 {
+	var b [8]byte
+	r.read(b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+func (r *reader) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.buf) {
+		r.err = errors.New("unexpected end of input in byte string")
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
+	r.off += n
+	return out
+}

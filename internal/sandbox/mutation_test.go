@@ -1,0 +1,116 @@
+package sandbox
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanicsOnMutation flips random bytes of a valid module
+// encoding and requires Decode to either reject it or return a module
+// that still validates — never panic, never accept an invalid program.
+// This is the hostile-update hardening check: the framework feeds
+// developer-supplied bytes straight into Decode.
+func TestDecodeNeverPanicsOnMutation(t *testing.T) {
+	base := MustAssemble(`
+module memory=4096
+data 16 str:seed
+func helper params=1 locals=0 results=1
+    localget 0
+    push 3
+    mul
+    ret
+end
+func main params=0 locals=2 results=1
+    push 7
+    call helper
+    localset 1
+loop:
+    localget 1
+    push 1
+    sub
+    localset 1
+    localget 1
+    brif loop
+    push 100
+    load64
+    ret
+end
+`).Encode()
+
+	f := func(pos uint16, xor byte, truncate uint16) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Decode panicked: %v", r)
+			}
+		}()
+		mutated := append([]byte{}, base...)
+		if xor != 0 {
+			mutated[int(pos)%len(mutated)] ^= xor
+		}
+		if int(truncate)%4 == 0 && len(mutated) > 1 {
+			mutated = mutated[:int(truncate)%len(mutated)]
+		}
+		m, err := Decode(mutated)
+		if err != nil {
+			return true // rejected: fine
+		}
+		// Accepted: it must re-validate and be safely runnable.
+		if err := m.Validate(); err != nil {
+			t.Errorf("Decode returned an invalid module: %v", err)
+			return false
+		}
+		inst, err := NewInstance(m, nil)
+		if err != nil {
+			return true // e.g. host imports appeared; fine
+		}
+		// Execution may trap or run out of gas but must not panic.
+		if _, err := inst.Run("main", 100_000); err != nil {
+			return true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunNeverPanicsOnRandomPrograms builds random (validated) programs
+// from the opcode set and requires execution to terminate with a result,
+// trap, or gas exhaustion — never a panic.
+func TestRunNeverPanicsOnRandomPrograms(t *testing.T) {
+	f := func(raw []byte) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("VM panicked: %v", r)
+			}
+		}()
+		if len(raw) == 0 {
+			return true
+		}
+		var code []Instr
+		for i := 0; i+1 < len(raw) && len(code) < 64; i += 2 {
+			op := Op(raw[i] % byte(opCount))
+			imm := int64(int8(raw[i+1])) // small signed immediates
+			code = append(code, Instr{Op: op, Imm: imm})
+		}
+		code = append(code, Instr{Op: OpHalt})
+		m := &Module{
+			MemoryBytes: 256,
+			Functions: []Function{{
+				Name: "main", NumLocals: 4, Code: code,
+			}},
+		}
+		if err := m.Validate(); err != nil {
+			return true // invalid programs are rejected up front
+		}
+		inst, err := NewInstance(m, nil)
+		if err != nil {
+			return true
+		}
+		_, _ = inst.Run("main", 50_000)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 600}); err != nil {
+		t.Fatal(err)
+	}
+}

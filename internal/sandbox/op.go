@@ -1,0 +1,148 @@
+// Package sandbox implements a from-scratch sandboxed execution
+// environment: a validated, gas-metered, stack-based bytecode virtual
+// machine with an isolated linear memory and a host-function import
+// mechanism. It plays the role WebAssembly + Node.js play in the paper's
+// prototype (§5): the application-independent framework runs developer
+// code inside it so that a malicious update cannot escape into the
+// framework (§4.1).
+//
+// Design points mirroring Wasm:
+//   - linear memory with hard bounds checks; out-of-bounds access traps
+//   - modules are validated before execution (jump targets, local indexes,
+//     function indexes, host imports)
+//   - the only way to affect the outside world is through host functions
+//     explicitly granted by the embedder
+//   - execution is metered (gas) so a malicious update cannot hang the
+//     framework
+package sandbox
+
+type opInfo struct {
+	name   string
+	hasImm bool
+	gas    uint64
+}
+
+// Op is a bytecode opcode.
+type Op byte
+
+// Opcode set. Immediates are signed 64-bit values encoded little-endian
+// after the opcode byte.
+const (
+	OpNop  Op = iota
+	OpPush    // push imm
+	OpDrop    // pop
+	OpDup     // duplicate top
+	OpSwap    // swap top two
+
+	OpAdd // binary arithmetic: pop b, pop a, push a OP b
+	OpSub
+	OpMul
+	OpDivS // traps on divide by zero or MinInt64 / -1
+	OpRemS
+	OpAnd
+	OpOr
+	OpXor
+	OpShl // shift count masked to 6 bits
+	OpShrU
+	OpShrS
+
+	OpEq // comparisons push 0/1
+	OpNe
+	OpLtS
+	OpLtU
+	OpGtS
+	OpLeS
+	OpGeS
+	OpEqz // unary: pop a, push a == 0
+
+	OpBr   // unconditional branch to instruction index imm
+	OpBrIf // pop c; branch if c != 0
+	OpCall // call function imm
+	OpRet  // return from function
+	OpHalt // stop the program successfully
+
+	OpLocalGet // push locals[imm]
+	OpLocalSet // pop into locals[imm]
+
+	OpLoad8   // pop addr, push mem[addr]
+	OpLoad64  // pop addr, push little-endian u64 at addr (traps if OOB)
+	OpStore8  // pop v, pop addr, mem[addr] = v&0xff
+	OpStore64 // pop v, pop addr, store little-endian
+	OpMemSize // push memory size in bytes
+
+	OpHostCall // invoke host function imm
+
+	opCount // sentinel
+)
+
+var opTable = [opCount]opInfo{
+	OpNop:      {"nop", false, 1},
+	OpPush:     {"push", true, 1},
+	OpDrop:     {"drop", false, 1},
+	OpDup:      {"dup", false, 1},
+	OpSwap:     {"swap", false, 1},
+	OpAdd:      {"add", false, 1},
+	OpSub:      {"sub", false, 1},
+	OpMul:      {"mul", false, 2},
+	OpDivS:     {"divs", false, 4},
+	OpRemS:     {"rems", false, 4},
+	OpAnd:      {"and", false, 1},
+	OpOr:       {"or", false, 1},
+	OpXor:      {"xor", false, 1},
+	OpShl:      {"shl", false, 1},
+	OpShrU:     {"shru", false, 1},
+	OpShrS:     {"shrs", false, 1},
+	OpEq:       {"eq", false, 1},
+	OpNe:       {"ne", false, 1},
+	OpLtS:      {"lts", false, 1},
+	OpLtU:      {"ltu", false, 1},
+	OpGtS:      {"gts", false, 1},
+	OpLeS:      {"les", false, 1},
+	OpGeS:      {"ges", false, 1},
+	OpEqz:      {"eqz", false, 1},
+	OpBr:       {"br", true, 2},
+	OpBrIf:     {"brif", true, 2},
+	OpCall:     {"call", true, 8},
+	OpRet:      {"ret", false, 2},
+	OpHalt:     {"halt", false, 1},
+	OpLocalGet: {"localget", true, 1},
+	OpLocalSet: {"localset", true, 1},
+	OpLoad8:    {"load8", false, 2},
+	OpLoad64:   {"load64", false, 2},
+	OpStore8:   {"store8", false, 2},
+	OpStore64:  {"store64", false, 2},
+	OpMemSize:  {"memsize", false, 1},
+	OpHostCall: {"hostcall", true, 16},
+}
+
+// Valid reports whether o is a defined opcode.
+func (o Op) Valid() bool { return o < opCount }
+
+// HasImm reports whether o carries an 8-byte immediate.
+func (o Op) HasImm() bool { return o.Valid() && opTable[o].hasImm }
+
+// Gas returns the base gas cost of o.
+func (o Op) Gas() uint64 { return opTable[o].gas }
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if !o.Valid() {
+		return "invalid"
+	}
+	return opTable[o].name
+}
+
+// opByName maps mnemonics to opcodes for the assembler.
+var opByName = func() map[string]Op {
+	m := make(map[string]Op, opCount)
+	for o := Op(0); o < opCount; o++ {
+		m[opTable[o].name] = o
+	}
+	return m
+}()
+
+// Instr is one decoded instruction.
+type Instr struct {
+	Op  Op
+	Imm int64
+}

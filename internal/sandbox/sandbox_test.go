@@ -1,0 +1,434 @@
+package sandbox
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+const fibSrc = `
+module memory=1024
+func fib params=1 locals=0 results=1
+    localget 0
+    push 2
+    lts
+    brif base
+    localget 0
+    push 1
+    sub
+    call fib
+    localget 0
+    push 2
+    sub
+    call fib
+    add
+    ret
+base:
+    localget 0
+    ret
+end
+`
+
+func run(t *testing.T, src, fn string, gas uint64, args ...int64) ([]int64, error) {
+	t.Helper()
+	m, err := Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	inst, err := NewInstance(m, nil)
+	if err != nil {
+		t.Fatalf("instantiate: %v", err)
+	}
+	return inst.Run(fn, gas, args...)
+}
+
+func TestFibonacci(t *testing.T) {
+	res, err := run(t, fibSrc, "fib", 1_000_000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] != 55 {
+		t.Fatalf("fib(10) = %v, want 55", res)
+	}
+}
+
+func TestArithmeticOps(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"push 7\npush 3\nadd", 10},
+		{"push 7\npush 3\nsub", 4},
+		{"push 7\npush 3\nmul", 21},
+		{"push 7\npush 3\ndivs", 2},
+		{"push 7\npush 3\nrems", 1},
+		{"push -7\npush 3\ndivs", -2},
+		{"push 12\npush 10\nand", 8},
+		{"push 12\npush 10\nor", 14},
+		{"push 12\npush 10\nxor", 6},
+		{"push 1\npush 4\nshl", 16},
+		{"push -8\npush 1\nshrs", -4},
+		{"push -8\npush 1\nshru", 9223372036854775804},
+		{"push 5\npush 5\neq", 1},
+		{"push 5\npush 6\nne", 1},
+		{"push -1\npush 1\nlts", 1},
+		{"push -1\npush 1\nltu", 0},
+		{"push 3\npush 2\ngts", 1},
+		{"push 2\npush 2\nles", 1},
+		{"push 2\npush 2\nges", 1},
+		{"push 0\neqz", 1},
+		{"push 9\neqz", 0},
+		{"push 1\npush 2\nswap\nsub", 1},
+		{"push 21\ndup\nadd", 42},
+	}
+	for _, c := range cases {
+		src := "module memory=0\nfunc main params=0 locals=0 results=1\n" + c.expr + "\nret\nend\n"
+		res, err := run(t, src, "main", 10_000)
+		if err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		if res[0] != c.want {
+			t.Fatalf("%q = %d, want %d", c.expr, res[0], c.want)
+		}
+	}
+}
+
+func TestDivideByZeroTraps(t *testing.T) {
+	src := "module memory=0\nfunc main params=0 locals=0 results=1\npush 1\npush 0\ndivs\nret\nend\n"
+	_, err := run(t, src, "main", 10_000)
+	var trap *Trap
+	if !errors.As(err, &trap) {
+		t.Fatalf("want trap, got %v", err)
+	}
+	if !strings.Contains(trap.Reason, "divide by zero") {
+		t.Fatalf("unexpected trap reason %q", trap.Reason)
+	}
+}
+
+func TestMemoryOps(t *testing.T) {
+	src := `
+module memory=4096
+data 100 str:hi
+func main params=0 locals=0 results=1
+    push 200
+    push 0x1122334455667788
+    store64
+    push 200
+    load64
+    push 100
+    load8            ; 'h' = 104
+    add
+    ret
+end
+`
+	res, err := run(t, src, "main", 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(0x1122334455667788) + 104
+	if res[0] != want {
+		t.Fatalf("got %d want %d", res[0], want)
+	}
+}
+
+func TestMemoryOutOfBoundsTraps(t *testing.T) {
+	for _, body := range []string{
+		"push 4096\nload8",
+		"push 4090\nload64",
+		"push -1\nload8",
+		"push 4096\npush 1\nstore8",
+		"push 4089\npush 1\nstore64",
+	} {
+		src := "module memory=4096\nfunc main params=0 locals=0 results=0\n" + body + "\nhalt\nend\n"
+		_, err := run(t, src, "main", 10_000)
+		var trap *Trap
+		if !errors.As(err, &trap) {
+			t.Fatalf("%q: want trap, got %v", body, err)
+		}
+	}
+}
+
+func TestGasExhaustion(t *testing.T) {
+	src := `
+module memory=0
+func main params=0 locals=0 results=0
+loop:
+    br loop
+end
+`
+	_, err := run(t, src, "main", 10_000)
+	if !errors.Is(err, ErrOutOfGas) {
+		t.Fatalf("want ErrOutOfGas, got %v", err)
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	src := `
+module memory=0
+func main params=0 locals=0 results=0
+    call main
+    halt
+end
+`
+	_, err := run(t, src, "main", 100_000_000)
+	if !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("want ErrCallDepth, got %v", err)
+	}
+}
+
+func TestValidationRejectsBadPrograms(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"branch out of range", "module memory=0\nfunc f params=0 locals=0 results=0\nbr 99\nend\n"},
+		{"call out of range", ""}, // assembler can't produce this; covered below via direct module
+		{"local out of range", "module memory=0\nfunc f params=1 locals=0 results=0\nlocalget 5\nhalt\nend\n"},
+		{"two results", "module memory=0\nfunc f params=0 locals=0 results=2\nhalt\nend\n"},
+		{"empty body", ""},
+		{"data outside memory", "module memory=4\ndata 2 str:abcdef\nfunc f params=0 locals=0 results=0\nhalt\nend\n"},
+	}
+	for _, c := range cases {
+		if c.src == "" {
+			continue
+		}
+		if _, err := Assemble(c.src); err == nil {
+			t.Fatalf("%s: accepted", c.name)
+		}
+	}
+	// Direct module abuse that the assembler can't express.
+	bad := &Module{
+		MemoryBytes: 0,
+		Functions: []Function{{
+			Name: "f", Code: []Instr{{Op: OpCall, Imm: 7}},
+		}},
+	}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("call target out of range accepted")
+	}
+	bad2 := &Module{
+		MemoryBytes: 0,
+		Functions: []Function{{
+			Name: "f", Code: []Instr{{Op: Op(200)}},
+		}},
+	}
+	if err := bad2.Validate(); err == nil {
+		t.Fatal("invalid opcode accepted")
+	}
+	bad3 := &Module{
+		MemoryBytes: 0,
+		Functions: []Function{{
+			Name: "f", Code: []Instr{{Op: OpHostCall, Imm: 0}},
+		}},
+	}
+	if err := bad3.Validate(); err == nil {
+		t.Fatal("hostcall without imports accepted")
+	}
+}
+
+func TestHostCall(t *testing.T) {
+	src := `
+module memory=1024
+import add3
+func main params=2 locals=0 results=1
+    localget 0
+    localget 1
+    push 100
+    hostcall add3
+    ret
+end
+`
+	m, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := map[string]*HostFunc{
+		"add3": {
+			Name: "add3", Arity: 3, Results: 1, Gas: 5,
+			Fn: func(_ *Instance, args []int64) ([]int64, error) {
+				return []int64{args[0] + args[1] + args[2]}, nil
+			},
+		},
+	}
+	inst, err := NewInstance(m, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Run("main", 10_000, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 103 {
+		t.Fatalf("got %d want 103", res[0])
+	}
+}
+
+func TestHostCallErrorTraps(t *testing.T) {
+	src := "module memory=0\nimport boom\nfunc main params=0 locals=0 results=0\nhostcall boom\nhalt\nend\n"
+	m, _ := Assemble(src)
+	reg := map[string]*HostFunc{
+		"boom": {Name: "boom", Arity: 0, Results: 0,
+			Fn: func(_ *Instance, _ []int64) ([]int64, error) {
+				return nil, errors.New("kaboom")
+			}},
+	}
+	inst, _ := NewInstance(m, reg)
+	_, err := inst.Run("main", 10_000)
+	var trap *Trap
+	if !errors.As(err, &trap) || !strings.Contains(trap.Reason, "kaboom") {
+		t.Fatalf("want host trap, got %v", err)
+	}
+}
+
+func TestUnresolvedImportRejected(t *testing.T) {
+	src := "module memory=0\nimport missing\nfunc main params=0 locals=0 results=0\nhalt\nend\n"
+	m, _ := Assemble(src)
+	if _, err := NewInstance(m, nil); err == nil {
+		t.Fatal("unresolved import accepted")
+	}
+}
+
+func TestHostMemoryAccessBounds(t *testing.T) {
+	m := MustAssemble("module memory=64\nfunc main params=0 locals=0 results=0\nhalt\nend\n")
+	inst, err := NewInstance(m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WriteMemory(60, []byte{1, 2, 3, 4}); err != nil {
+		t.Fatal(err)
+	}
+	if err := inst.WriteMemory(62, []byte{1, 2, 3, 4}); err == nil {
+		t.Fatal("out-of-bounds host write accepted")
+	}
+	if _, err := inst.ReadMemory(0, 65); err == nil {
+		t.Fatal("out-of-bounds host read accepted")
+	}
+	got, err := inst.ReadMemory(60, 4)
+	if err != nil || !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatal("host read round trip failed")
+	}
+}
+
+func TestModuleEncodeDecodeRoundTrip(t *testing.T) {
+	m, err := Assemble(fibSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := m.Encode()
+	dec, err := Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec.Encode(), enc) {
+		t.Fatal("round trip not canonical")
+	}
+	if m.Digest() != dec.Digest() {
+		t.Fatal("digest changed across round trip")
+	}
+	// Decoded module still runs.
+	inst, err := NewInstance(dec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inst.Run("fib", 1_000_000, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0] != 144 {
+		t.Fatalf("fib(12) = %d, want 144", res[0])
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := Decode([]byte("not a module")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	m := MustAssemble("module memory=0\nfunc f params=0 locals=0 results=0\nhalt\nend\n")
+	enc := m.Encode()
+	if _, err := Decode(enc[:len(enc)-3]); err == nil {
+		t.Fatal("truncated module accepted")
+	}
+	if _, err := Decode(append(enc, 0xff)); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+func TestDigestDistinguishesModules(t *testing.T) {
+	a := MustAssemble("module memory=0\nfunc f params=0 locals=0 results=0\nhalt\nend\n")
+	b := MustAssemble("module memory=0\nfunc f params=0 locals=0 results=0\nnop\nhalt\nend\n")
+	if a.Digest() == b.Digest() {
+		t.Fatal("distinct modules share a digest")
+	}
+}
+
+func TestRunArgValidation(t *testing.T) {
+	m := MustAssemble("module memory=0\nfunc f params=2 locals=0 results=0\nhalt\nend\n")
+	inst, _ := NewInstance(m, nil)
+	if _, err := inst.Run("f", 1000, 1); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if _, err := inst.Run("nope", 1000); err == nil {
+		t.Fatal("missing function accepted")
+	}
+}
+
+func TestIsolationBetweenInstances(t *testing.T) {
+	m := MustAssemble(`
+module memory=64
+func poke params=0 locals=0 results=0
+    push 0
+    push 255
+    store8
+    halt
+end
+`)
+	a, _ := NewInstance(m, nil)
+	b, _ := NewInstance(m, nil)
+	if _, err := a.Run("poke", 1000); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := b.ReadMemory(0, 1)
+	if got[0] != 0 {
+		t.Fatal("instances share memory")
+	}
+}
+
+func BenchmarkFib20(b *testing.B) {
+	m := MustAssemble(fibSrc)
+	inst, _ := NewInstance(m, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Run("fib", 1_000_000_000, 20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSandboxCallOverhead(b *testing.B) {
+	m := MustAssemble("module memory=1024\nfunc f params=1 locals=0 results=1\nlocalget 0\nret\nend\n")
+	inst, _ := NewInstance(m, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := inst.Run("f", 1_000, int64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchmarkMemcopy(b *testing.B, n int) {
+	m := MustAssemble("module memory=262144\nfunc f params=0 locals=0 results=0\nhalt\nend\n")
+	inst, _ := NewInstance(m, nil)
+	payload := make([]byte, n)
+	b.SetBytes(int64(n))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := inst.WriteMemory(0, payload); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := inst.ReadMemory(0, n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSandboxMemcopy64B(b *testing.B)   { benchmarkMemcopy(b, 64) }
+func BenchmarkSandboxMemcopy4KiB(b *testing.B)  { benchmarkMemcopy(b, 4096) }
+func BenchmarkSandboxMemcopy64KiB(b *testing.B) { benchmarkMemcopy(b, 65536) }

@@ -1,0 +1,178 @@
+package shamir
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Share is one participant's share of a secret. X is the nonzero evaluation
+// point; Y holds one byte per secret byte.
+type Share struct {
+	X byte
+	Y []byte
+}
+
+// maxShares is the number of distinct nonzero evaluation points in GF(256).
+const maxShares = 255
+
+// Split splits secret into n shares with threshold t: any t shares
+// reconstruct the secret, and any t-1 shares are information-theoretically
+// independent of it. Each byte of the secret is shared with an independent
+// random polynomial of degree t-1.
+func Split(secret []byte, t, n int) ([]Share, error) {
+	if len(secret) == 0 {
+		return nil, errors.New("shamir: empty secret")
+	}
+	if t < 1 || n < t || n > maxShares {
+		return nil, fmt.Errorf("shamir: invalid parameters t=%d n=%d", t, n)
+	}
+	shares := make([]Share, n)
+	for i := range shares {
+		shares[i] = Share{X: byte(i + 1), Y: make([]byte, len(secret))}
+	}
+	coeffs := make([]byte, t) // reused per secret byte
+	for b, sb := range secret {
+		coeffs[0] = sb
+		if t > 1 {
+			if _, err := rand.Read(coeffs[1:]); err != nil {
+				return nil, fmt.Errorf("shamir: sampling coefficients: %w", err)
+			}
+			// Degree must be exactly t-1 so t-1 shares never suffice:
+			// a zero top coefficient would silently lower the threshold.
+			for coeffs[t-1] == 0 {
+				if _, err := rand.Read(coeffs[t-1 : t]); err != nil {
+					return nil, fmt.Errorf("shamir: resampling coefficient: %w", err)
+				}
+			}
+		}
+		for i := range shares {
+			shares[i].Y[b] = evalPoly(coeffs, shares[i].X)
+		}
+	}
+	return shares, nil
+}
+
+// evalPoly evaluates the polynomial at x by Horner's rule.
+func evalPoly(coeffs []byte, x byte) byte {
+	var acc byte
+	for i := len(coeffs) - 1; i >= 0; i-- {
+		acc = gfAdd(gfMul(acc, x), coeffs[i])
+	}
+	return acc
+}
+
+// Combine reconstructs the secret from at least t shares with distinct X.
+// Extra shares beyond t are ignored. Combining fewer than t shares, or
+// shares from a different secret, yields garbage rather than an error:
+// Shamir sharing alone cannot detect that. Use SplitAuthenticated for
+// integrity.
+func Combine(shares []Share, t int) ([]byte, error) {
+	if len(shares) < t {
+		return nil, fmt.Errorf("shamir: need %d shares, have %d", t, len(shares))
+	}
+	use := shares[:t]
+	seen := make(map[byte]bool, t)
+	secLen := len(use[0].Y)
+	for _, s := range use {
+		if s.X == 0 {
+			return nil, errors.New("shamir: share with x=0")
+		}
+		if seen[s.X] {
+			return nil, fmt.Errorf("shamir: duplicate share x=%d", s.X)
+		}
+		seen[s.X] = true
+		if len(s.Y) != secLen {
+			return nil, errors.New("shamir: shares have differing lengths")
+		}
+	}
+	secret := make([]byte, secLen)
+	for b := 0; b < secLen; b++ {
+		var acc byte
+		for i, si := range use {
+			// Lagrange basis at 0: prod_{j!=i} xj / (xj - xi)
+			num, den := byte(1), byte(1)
+			for j, sj := range use {
+				if j == i {
+					continue
+				}
+				num = gfMul(num, sj.X)
+				den = gfMul(den, gfAdd(sj.X, si.X)) // xj - xi == xj ^ xi
+			}
+			li := gfDiv(num, den)
+			acc = gfAdd(acc, gfMul(li, si.Y[b]))
+		}
+		secret[b] = acc
+	}
+	return secret, nil
+}
+
+// authTagLen is the length of the integrity tag in authenticated sharing.
+const authTagLen = 32
+
+// SplitAuthenticated is Split plus an HMAC-SHA256 integrity tag keyed by
+// the secret itself, appended before splitting, so reconstruction with
+// wrong or corrupted shares is detected by CombineAuthenticated.
+func SplitAuthenticated(secret []byte, t, n int) ([]Share, error) {
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte("shamir-auth-v1"))
+	tagged := append(append([]byte{}, secret...), mac.Sum(nil)...)
+	return Split(tagged, t, n)
+}
+
+// CombineAuthenticated reconstructs and verifies a secret produced by
+// SplitAuthenticated.
+func CombineAuthenticated(shares []Share, t int) ([]byte, error) {
+	tagged, err := Combine(shares, t)
+	if err != nil {
+		return nil, err
+	}
+	if len(tagged) < authTagLen+1 {
+		return nil, errors.New("shamir: reconstructed value too short for tag")
+	}
+	secret := tagged[:len(tagged)-authTagLen]
+	tag := tagged[len(tagged)-authTagLen:]
+	mac := hmac.New(sha256.New, secret)
+	mac.Write([]byte("shamir-auth-v1"))
+	if !hmac.Equal(tag, mac.Sum(nil)) {
+		return nil, errors.New("shamir: integrity check failed (wrong or corrupted shares)")
+	}
+	out := make([]byte, len(secret))
+	copy(out, secret)
+	return out, nil
+}
+
+// Refresh produces a new sharing of the same secret with fresh randomness
+// (proactive refresh): it adds a random sharing of zero to every share.
+// All n original shares must be presented so indexes stay aligned.
+func Refresh(shares []Share, t int) ([]Share, error) {
+	if len(shares) == 0 {
+		return nil, errors.New("shamir: no shares to refresh")
+	}
+	if t < 1 || t > len(shares) {
+		return nil, fmt.Errorf("shamir: invalid threshold %d", t)
+	}
+	secLen := len(shares[0].Y)
+	out := make([]Share, len(shares))
+	for i, s := range shares {
+		if len(s.Y) != secLen {
+			return nil, errors.New("shamir: shares have differing lengths")
+		}
+		out[i] = Share{X: s.X, Y: append([]byte{}, s.Y...)}
+	}
+	coeffs := make([]byte, t)
+	for b := 0; b < secLen; b++ {
+		coeffs[0] = 0 // share of zero
+		if t > 1 {
+			if _, err := rand.Read(coeffs[1:]); err != nil {
+				return nil, fmt.Errorf("shamir: refresh sampling: %w", err)
+			}
+		}
+		for i := range out {
+			out[i].Y[b] = gfAdd(out[i].Y[b], evalPoly(coeffs, out[i].X))
+		}
+	}
+	return out, nil
+}

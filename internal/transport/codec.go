@@ -1,0 +1,59 @@
+// Package transport provides the wire protocol used between clients,
+// trust-domain hosts, and in-enclave frameworks: length-prefixed frames
+// carrying JSON-encoded envelopes over net.Conn, plus a small synchronous
+// RPC server/client pair.
+//
+// The framing is deliberately simple (4-byte big-endian length + payload,
+// hard size cap) so a malformed or malicious peer can at worst cause a
+// closed connection, never unbounded allocation.
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrameSize caps a frame payload (16 MiB): large enough for code
+// updates, small enough to bound allocation from hostile peers.
+const MaxFrameSize = 16 << 20
+
+// ErrFrameTooLarge is returned when a peer announces an oversized frame.
+var ErrFrameTooLarge = errors.New("transport: frame exceeds maximum size")
+
+// WriteFrame writes one length-prefixed frame. Header and payload go out
+// in a single Write so each frame is one segment on the wire (loopback
+// round trips dominate the TEE deployment's cost; see EXPERIMENTS.md).
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf[:4], uint32(len(payload)))
+	copy(buf[4:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("transport: writing frame: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: reading frame header: %w", err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("transport: reading frame payload: %w", err)
+	}
+	return payload, nil
+}

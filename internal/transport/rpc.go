@@ -1,0 +1,239 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Request is the client->server envelope.
+type Request struct {
+	ID   uint64          `json:"id"`
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Response is the server->client envelope.
+type Response struct {
+	ID    uint64          `json:"id"`
+	OK    bool            `json:"ok"`
+	Error string          `json:"error,omitempty"`
+	Body  json.RawMessage `json:"body,omitempty"`
+}
+
+// Handler processes one request body and returns a response body.
+type Handler func(body json.RawMessage) (any, error)
+
+// Server dispatches framed JSON requests to registered handlers.
+// All exported methods are safe for concurrent use.
+type Server struct {
+	mu       sync.RWMutex
+	handlers map[string]Handler
+	ln       net.Listener
+	wg       sync.WaitGroup
+	closed   chan struct{}
+	conns    map[net.Conn]struct{}
+}
+
+// NewServer creates an empty server.
+func NewServer() *Server {
+	return &Server{
+		handlers: make(map[string]Handler),
+		closed:   make(chan struct{}),
+		conns:    make(map[net.Conn]struct{}),
+	}
+}
+
+// Handle registers a handler for a request kind.
+func (s *Server) Handle(kind string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[kind] = h
+}
+
+// Serve starts accepting connections on ln until Close. It returns
+// immediately; connection goroutines run in the background.
+func (s *Server) Serve(ln net.Listener) {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				select {
+				case <-s.closed:
+					return
+				default:
+				}
+				return
+			}
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+}
+
+// ListenAndServe listens on a fresh loopback TCP port and serves on it,
+// returning the bound address.
+func (s *Server) ListenAndServe() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("transport: listen: %w", err)
+	}
+	s.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener, closes every active connection, and waits
+// for in-flight handler goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+	default:
+		close(s.closed)
+	}
+	ln := s.ln
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	s.mu.Lock()
+	select {
+	case <-s.closed:
+		s.mu.Unlock()
+		conn.Close()
+		return
+	default:
+	}
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	for {
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		var req Request
+		if err := json.Unmarshal(frame, &req); err != nil {
+			// Protocol violation: drop the connection.
+			return
+		}
+		resp := s.dispatch(&req)
+		out, err := json.Marshal(resp)
+		if err != nil {
+			return
+		}
+		if err := WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *Request) *Response {
+	s.mu.RLock()
+	h, ok := s.handlers[req.Kind]
+	s.mu.RUnlock()
+	if !ok {
+		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("unknown request kind %q", req.Kind)}
+	}
+	body, err := h(req.Body)
+	if err != nil {
+		return &Response{ID: req.ID, OK: false, Error: err.Error()}
+	}
+	enc, err := json.Marshal(body)
+	if err != nil {
+		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("encoding response: %v", err)}
+	}
+	return &Response{ID: req.ID, OK: true, Body: enc}
+}
+
+// Client is a synchronous RPC client over a single connection.
+// Safe for concurrent use; calls are serialized on the connection.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	nextID uint64
+}
+
+// Dial connects to a server address.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return &Client{conn: conn}, nil
+}
+
+// NewClient wraps an existing connection.
+func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ErrRemote wraps an error string returned by the server.
+type ErrRemote struct{ Msg string }
+
+func (e *ErrRemote) Error() string { return "transport: remote error: " + e.Msg }
+
+// Call sends a request of the given kind and decodes the response body
+// into out (which may be nil to discard).
+func (c *Client) Call(kind string, in any, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("transport: encoding request: %w", err)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	req := Request{ID: c.nextID, Kind: kind, Body: body}
+	frame, err := json.Marshal(&req)
+	if err != nil {
+		return fmt.Errorf("transport: encoding envelope: %w", err)
+	}
+	if err := WriteFrame(c.conn, frame); err != nil {
+		return err
+	}
+	respFrame, err := ReadFrame(c.conn)
+	if err != nil {
+		return fmt.Errorf("transport: reading response: %w", err)
+	}
+	var resp Response
+	if err := json.Unmarshal(respFrame, &resp); err != nil {
+		return fmt.Errorf("transport: decoding response: %w", err)
+	}
+	if resp.ID != req.ID {
+		return errors.New("transport: response ID mismatch")
+	}
+	if !resp.OK {
+		return &ErrRemote{Msg: resp.Error}
+	}
+	if out != nil {
+		if err := json.Unmarshal(resp.Body, out); err != nil {
+			return fmt.Errorf("transport: decoding response body: %w", err)
+		}
+	}
+	return nil
+}
