@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/aolog"
 	"repro/internal/audit"
 	"repro/internal/bls"
 	"repro/internal/blsapp"
@@ -340,6 +341,120 @@ func BenchmarkVerifyMisbehaviorProof(b *testing.B) {
 		}
 	}
 }
+
+// DESIGN.md §4.6 before/after rows: transparency-log append throughput.
+// One benchmark op = append 10k entries to an empty log, producing a
+// signed-tree-head root after every append (the monitor's steady-state
+// pattern: every gossip submission updates the servable head).
+
+// BenchmarkLogAppend10k measures the incremental MerkleLog: O(1) amortized
+// hashing per append, O(log n) per root.
+func BenchmarkLogAppend10k(b *testing.B) {
+	payload := []byte("a status envelope sized log entry .....")
+	var sink aolog.Digest
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var m aolog.MerkleLog
+		for j := 0; j < 10000; j++ {
+			m.Append(payload)
+			sink = m.Root()
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkLogAppend10kRecompute is the seed implementation's cost model:
+// leaf hashes cached, every interior node recomputed on every Root call
+// (O(n) per root, O(n^2) over the run). Kept as the baseline the ≥10x
+// claim in DESIGN.md §4.6 is measured against.
+func BenchmarkLogAppend10kRecompute(b *testing.B) {
+	payload := []byte("a status envelope sized log entry .....")
+	var sink aolog.Digest
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		leaves := make([]aolog.Digest, 0, 10000)
+		for j := 0; j < 10000; j++ {
+			leaves = append(leaves, aolog.LeafDigest(payload))
+			sink = aolog.RootOfLeaves(leaves)
+		}
+	}
+	_ = sink
+}
+
+// BenchmarkShardedLogAppendBatch10k is the server-side ingest path the
+// monitor actually runs: 10k entries appended in batches of 64 to a
+// 4-shard log, one super-root per batch (heads are served per gossip
+// flush, not per entry).
+func BenchmarkShardedLogAppendBatch10k(b *testing.B) {
+	payload := []byte("a status envelope sized log entry .....")
+	batch := make([][]byte, 64)
+	for i := range batch {
+		batch[i] = payload
+	}
+	var sink aolog.Digest
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := aolog.NewShardedLog(4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s.Len() < 10000 {
+			s.AppendBatch(batch)
+			sink = s.SuperRoot()
+		}
+	}
+	_ = sink
+}
+
+// DESIGN.md §4.7 before/after rows: auditor signature-verification
+// throughput over a batch of BLS-signed tree heads (one monitor key, n
+// distinct heads). One benchmark op = establish validity of all n heads.
+
+func batchVerifyFixture(b *testing.B, n int) ([]*bls.PublicKey, [][]byte, []*bls.Signature) {
+	b.Helper()
+	sk, pk, err := bls.GenerateKey()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pks := make([]*bls.PublicKey, n)
+	msgs := make([][]byte, n)
+	sigs := make([]*bls.Signature, n)
+	for i := 0; i < n; i++ {
+		pks[i] = pk
+		msgs[i] = []byte(fmt.Sprintf("signed tree head %d", i))
+		sigs[i] = sk.Sign(msgs[i])
+	}
+	return pks, msgs, sigs
+}
+
+func benchmarkBatchVerify(b *testing.B, n int) {
+	pks, msgs, sigs := batchVerifyFixture(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !bls.VerifyBatch(pks, msgs, sigs) {
+			b.Fatal("batch rejected")
+		}
+	}
+}
+
+// benchmarkSequentialVerify is the seed path: one full pairing check (two
+// Miller loops + a final exponentiation) per signature.
+func benchmarkSequentialVerify(b *testing.B, n int) {
+	pks, msgs, sigs := batchVerifyFixture(b, n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			if !bls.Verify(pks[j], msgs[j], sigs[j]) {
+				b.Fatal("signature rejected")
+			}
+		}
+	}
+}
+
+func BenchmarkBatchVerify16(b *testing.B)       { benchmarkBatchVerify(b, 16) }
+func BenchmarkBatchVerify256(b *testing.B)      { benchmarkBatchVerify(b, 256) }
+func BenchmarkSequentialVerify16(b *testing.B)  { benchmarkSequentialVerify(b, 16) }
+func BenchmarkSequentialVerify256(b *testing.B) { benchmarkSequentialVerify(b, 256) }
 
 // Ablation: deployment bootstrap cost (what "simple for the developer"
 // costs in machine time: provision TEEs, start domains, install the app).

@@ -9,11 +9,19 @@
 //
 // Protocol (framed JSON, see internal/transport):
 //
-//	submit  {envelope}            -> {log_index, alert?}
-//	head    {}                    -> signed tree head
-//	alerts  {}                    -> all accumulated misbehavior proofs
-//	poll    {}                    -> monitor fetches statuses itself from
+//	submit      {envelope}        -> {log_index, alert?}
+//	submitbatch {envelopes: [..]} -> [{log_index, alert?, error?}, ...]
+//	head        {}                -> ed25519-signed tree head
+//	headbls     {}                -> BLS-signed tree head (batch-verifiable
+//	                                 by auditors via bls.VerifyBatch)
+//	alerts      {}                -> all accumulated misbehavior proofs
+//	poll        {}                -> monitor fetches statuses itself from
 //	                                 every domain and ingests them
+//
+// The server also accepts transport-level "_batch" frames bundling any of
+// the above, so gossiping clients pay one round trip per flush. The public
+// log stripes across -shards sub-logs; tree heads commit to the sharded
+// super-root and inclusion/consistency proofs carry the shard geometry.
 package main
 
 import (
@@ -29,6 +37,7 @@ import (
 	"syscall"
 
 	"repro/internal/audit"
+	"repro/internal/bls"
 	"repro/internal/deployfile"
 	"repro/internal/monitor"
 	"repro/internal/transport"
@@ -39,6 +48,7 @@ func main() {
 	var (
 		paramsPath = flag.String("params", "deployment.json", "deployment parameters file")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+		shards     = flag.Int("shards", monitor.DefaultShards, "stripe count of the public Merkle log")
 	)
 	flag.Parse()
 
@@ -54,7 +64,15 @@ func main() {
 	if err != nil {
 		log.Fatalf("monitord: keygen: %v", err)
 	}
-	mon := monitor.New(params, priv)
+	mon, err := monitor.NewSharded(params, priv, *shards)
+	if err != nil {
+		log.Fatalf("monitord: %v", err)
+	}
+	blsKey, _, err := bls.GenerateKey()
+	if err != nil {
+		log.Fatalf("monitord: BLS keygen: %v", err)
+	}
+	mon.EnableBLSHeads(blsKey)
 	auditClient := audit.NewClient(params)
 	defer auditClient.Close()
 
@@ -70,8 +88,32 @@ func main() {
 		}
 		return submitResponse{LogIndex: idx, Alert: proof}, nil
 	})
+	srv.HandleNoBatch("submitbatch", func(body json.RawMessage) (any, error) {
+		var req struct {
+			Envelopes []*audit.AttestedStatusEnvelope `json:"envelopes"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		// One frame must not queue unbounded envelope verifications.
+		if len(req.Envelopes) > transport.MaxBatchCalls {
+			return nil, fmt.Errorf("batch of %d exceeds limit %d", len(req.Envelopes), transport.MaxBatchCalls)
+		}
+		outcomes := mon.SubmitBatch(req.Envelopes)
+		out := make([]submitResponse, len(outcomes))
+		for i, o := range outcomes {
+			out[i] = submitResponse{LogIndex: o.LogIndex, Alert: o.Alert}
+			if o.Err != nil {
+				out[i].Error = o.Err.Error()
+			}
+		}
+		return out, nil
+	})
 	srv.Handle("head", func(json.RawMessage) (any, error) {
 		return mon.TreeHead(), nil
+	})
+	srv.Handle("headbls", func(json.RawMessage) (any, error) {
+		return mon.TreeHeadBLS()
 	})
 	srv.Handle("alerts", func(json.RawMessage) (any, error) {
 		return mon.Alerts(), nil
@@ -98,8 +140,11 @@ func main() {
 	}
 	srv.Serve(ln)
 	defer srv.Close()
-	fmt.Printf("monitord: watching %d domains, serving on %s\n", len(params.Domains), ln.Addr())
+	fmt.Printf("monitord: watching %d domains, serving on %s (%d log shards)\n",
+		len(params.Domains), ln.Addr(), *shards)
 	fmt.Printf("monitord: tree-head key %x\n", mon.PublicKey())
+	blsPub := mon.BLSPublicKey().Bytes()
+	fmt.Printf("monitord: BLS tree-head key %x\n", blsPub[:])
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
@@ -110,4 +155,5 @@ func main() {
 type submitResponse struct {
 	LogIndex int                `json:"log_index"`
 	Alert    *audit.Misbehavior `json:"alert,omitempty"`
+	Error    string             `json:"error,omitempty"`
 }

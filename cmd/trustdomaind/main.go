@@ -11,6 +11,13 @@
 //
 //	dtclient -params /tmp/deployment.json audit
 //	dtclient -params /tmp/deployment.json sign -msg "hello"
+//	dtclient -params /tmp/deployment.json signbatch "m1" "m2" "m3"
+//
+// Every domain server accepts batched RPCs: the "invokebatch" kind runs
+// many application requests in one frame (what signbatch uses to collect
+// a share per message with one round trip per domain), and the transport
+// layer's "_batch" kind bundles arbitrary requests (status + history in
+// one frame, as batched auditors do). See DESIGN.md §3.
 package main
 
 import (

@@ -159,11 +159,13 @@ func TestMerkleForkDetected(t *testing.T) {
 	for i := 0; i < 8; i++ {
 		p := []byte(fmt.Sprintf("e%d", i))
 		honest.Append(p)
+		if i == 3 {
+			p = []byte("rewritten") // fork's history diverges at entry 3
+		}
 		fork.Append(p)
 	}
 	oldRoot := honest.Root()
 	honest.Append([]byte("honest-9"))
-	fork.leaves[3] = leafHash([]byte("rewritten")) // fork mutates history
 	fork.Append([]byte("fork-9"))
 	proof, err := fork.ProveConsistency(8, 9)
 	if err != nil {

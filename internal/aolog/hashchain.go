@@ -1,5 +1,5 @@
 // Package aolog implements the paper's second building block: append-only
-// logs. It provides two structures:
+// logs. It provides three structures:
 //
 //   - HashChain: the per-TEE log of code digests prescribed by §4.1
 //     ("implemented at each TEE as a hash chain"). Appending is O(1); the
@@ -8,7 +8,18 @@
 //     equivocation.
 //   - MerkleLog: an RFC-6962-style Merkle tree with inclusion and
 //     consistency proofs, the certificate-transparency-inspired public
-//     auditability layer (§1, §4.1).
+//     auditability layer (§1, §4.1). Interior nodes are cached
+//     incrementally, so appends cost O(1) amortized hashing and
+//     roots/proofs cost O(log n) — the hot path of a log that serves a
+//     signed tree head per ingest (DESIGN.md §3).
+//   - ShardedLog: a MerkleLog striped across K shards for heavy append
+//     traffic, committed to by a super-root over (shard, size, root)
+//     leaves, with inclusion and consistency proofs that work across
+//     shard boundaries.
+//
+// Log states are signed as SignedHead (ed25519) or BLSSignedHead; BLS
+// heads exist so auditors can verify a whole batch of heads in a single
+// multi-pairing (bls.VerifyBatch, audit.STHBatch).
 package aolog
 
 import (

@@ -3,6 +3,7 @@ package aolog
 import (
 	"crypto/sha256"
 	"fmt"
+	"math/bits"
 )
 
 // MerkleLog is an append-only Merkle tree over entry payloads in the style
@@ -10,34 +11,65 @@ import (
 // ("entry i is in the tree of size n") and consistency proofs ("the tree of
 // size m is a prefix of the tree of size n"). The zero value is an empty
 // log. Not safe for concurrent use.
+//
+// The tree is stored incrementally: levels[h][i] caches the root of the
+// complete subtree over leaves [i*2^h, (i+1)*2^h), so Append does O(1)
+// amortized hashing and Root/RootAt/proof generation cost O(log n) instead
+// of rehashing all n leaves (the seed behavior, preserved as RecomputeRoot
+// for tests and benchmarks).
 type MerkleLog struct {
-	leaves []Digest
 	raw    [][]byte
+	levels [][]Digest // levels[0] = leaf hashes; levels[h][i] covers leaves [i<<h, (i+1)<<h)
 }
 
 // Len returns the number of leaves.
-func (m *MerkleLog) Len() int { return len(m.leaves) }
+func (m *MerkleLog) Len() int {
+	if len(m.levels) == 0 {
+		return 0
+	}
+	return len(m.levels[0])
+}
 
 // Append adds an entry payload and returns its index.
 func (m *MerkleLog) Append(payload []byte) int {
 	cp := append([]byte{}, payload...)
 	m.raw = append(m.raw, cp)
-	m.leaves = append(m.leaves, leafHash(cp))
-	return len(m.leaves) - 1
+	m.push(0, leafHash(cp))
+	return m.Len() - 1
+}
+
+// AppendBatch appends payloads in order and returns the index of the first.
+func (m *MerkleLog) AppendBatch(payloads [][]byte) int {
+	first := m.Len()
+	for _, p := range payloads {
+		m.Append(p)
+	}
+	return first
+}
+
+// push inserts a node at level h, pairing complete siblings upward.
+func (m *MerkleLog) push(h int, d Digest) {
+	if h == len(m.levels) {
+		m.levels = append(m.levels, nil)
+	}
+	m.levels[h] = append(m.levels[h], d)
+	if n := len(m.levels[h]); n%2 == 0 {
+		m.push(h+1, nodeHash(m.levels[h][n-2], m.levels[h][n-1]))
+	}
 }
 
 // Root returns the Merkle root of the current tree. The empty tree has the
 // hash of the empty string as root (RFC 6962 §2.1).
 func (m *MerkleLog) Root() Digest {
-	return subtreeRoot(m.leaves)
+	return m.rangeRoot(0, m.Len())
 }
 
 // RootAt returns the root of the first n leaves.
 func (m *MerkleLog) RootAt(n int) (Digest, error) {
-	if n < 0 || n > len(m.leaves) {
+	if n < 0 || n > m.Len() {
 		return Digest{}, fmt.Errorf("aolog: tree size %d out of range", n)
 	}
-	return subtreeRoot(m.leaves[:n]), nil
+	return m.rangeRoot(0, n), nil
 }
 
 // Entry returns the raw payload at index i.
@@ -47,6 +79,42 @@ func (m *MerkleLog) Entry(i int) ([]byte, error) {
 	}
 	return append([]byte{}, m.raw[i]...), nil
 }
+
+// rangeRoot computes the RFC 6962 subtree hash over leaves [lo, hi). Ranges
+// reached by the RFC recursion are aligned, so the complete-subtree cache
+// answers each left branch in O(1) and only the right spine recurses.
+func (m *MerkleLog) rangeRoot(lo, hi int) Digest {
+	size := hi - lo
+	if size <= 0 {
+		return leafEmptyRoot()
+	}
+	if size&(size-1) == 0 && lo%size == 0 {
+		h := bits.TrailingZeros(uint(size))
+		return m.levels[h][lo>>h]
+	}
+	k := largestPowerOfTwoBelow(size)
+	return nodeHash(m.rangeRoot(lo, lo+k), m.rangeRoot(lo+k, hi))
+}
+
+// RecomputeRoot is the O(n) reference: the RFC 6962 tree hash computed
+// directly from the payloads with no caching. It is the seed's per-Root
+// cost, kept for equivalence tests and as the benchmark baseline.
+func RecomputeRoot(payloads [][]byte) Digest {
+	leaves := make([]Digest, len(payloads))
+	for i, p := range payloads {
+		leaves[i] = leafHash(p)
+	}
+	return subtreeRoot(leaves)
+}
+
+// LeafDigest returns the RFC 6962 leaf hash of a payload.
+func LeafDigest(payload []byte) Digest { return leafHash(payload) }
+
+// RootOfLeaves computes the tree hash over precomputed leaf digests with
+// no interior-node caching — exactly the seed implementation's per-Root()
+// cost (it cached leaf hashes but recomputed every interior node). Kept so
+// benchmarks can measure the before/after honestly.
+func RootOfLeaves(leaves []Digest) Digest { return subtreeRoot(leaves) }
 
 // subtreeRoot computes the RFC 6962 Merkle tree hash of the given leaves.
 func subtreeRoot(leaves []Digest) Digest {
@@ -92,25 +160,25 @@ type InclusionProof struct {
 
 // ProveInclusion builds the audit path for leaf i in the tree of size n.
 func (m *MerkleLog) ProveInclusion(i, n int) (*InclusionProof, error) {
-	if n < 1 || n > len(m.leaves) {
+	if n < 1 || n > m.Len() {
 		return nil, fmt.Errorf("aolog: tree size %d out of range", n)
 	}
 	if i < 0 || i >= n {
 		return nil, fmt.Errorf("aolog: leaf index %d out of range for size %d", i, n)
 	}
-	path := inclusionPath(m.leaves[:n], i)
+	path := m.inclusionPath(0, n, i)
 	return &InclusionProof{LeafIndex: i, TreeSize: n, Path: path}, nil
 }
 
-func inclusionPath(leaves []Digest, i int) []Digest {
-	if len(leaves) <= 1 {
+func (m *MerkleLog) inclusionPath(lo, hi, i int) []Digest {
+	if hi-lo <= 1 {
 		return nil
 	}
-	k := largestPowerOfTwoBelow(len(leaves))
-	if i < k {
-		return append(inclusionPath(leaves[:k], i), subtreeRoot(leaves[k:]))
+	k := largestPowerOfTwoBelow(hi - lo)
+	if i < lo+k {
+		return append(m.inclusionPath(lo, lo+k, i), m.rangeRoot(lo+k, hi))
 	}
-	return append(inclusionPath(leaves[k:], i-k), subtreeRoot(leaves[:k]))
+	return append(m.inclusionPath(lo+k, hi, i), m.rangeRoot(lo, lo+k))
 }
 
 // VerifyInclusion checks an inclusion proof for entry payload against root.
@@ -161,30 +229,31 @@ type ConsistencyProof struct {
 
 // ProveConsistency builds a consistency proof between sizes m0 and n.
 func (m *MerkleLog) ProveConsistency(m0, n int) (*ConsistencyProof, error) {
-	if m0 < 1 || n < m0 || n > len(m.leaves) {
+	if m0 < 1 || n < m0 || n > m.Len() {
 		return nil, fmt.Errorf("aolog: invalid consistency range %d..%d", m0, n)
 	}
-	path := consistencyPath(m.leaves[:n], m0, true)
+	path := m.consistencyPath(0, n, m0, true)
 	return &ConsistencyProof{OldSize: m0, NewSize: n, Path: path}, nil
 }
 
-// consistencyPath follows RFC 6962 §2.1.2. flag indicates whether the old
-// subtree is still a "complete" node of the current traversal.
-func consistencyPath(leaves []Digest, m0 int, flag bool) []Digest {
-	n := len(leaves)
+// consistencyPath follows RFC 6962 §2.1.2 over the range [lo, hi), with m0
+// relative to lo. flag indicates whether the old subtree is still a
+// "complete" node of the current traversal.
+func (m *MerkleLog) consistencyPath(lo, hi, m0 int, flag bool) []Digest {
+	n := hi - lo
 	if m0 == n {
 		if flag {
 			return nil
 		}
-		return []Digest{subtreeRoot(leaves)}
+		return []Digest{m.rangeRoot(lo, hi)}
 	}
 	k := largestPowerOfTwoBelow(n)
 	if m0 <= k {
-		path := consistencyPath(leaves[:k], m0, flag)
-		return append(path, subtreeRoot(leaves[k:]))
+		path := m.consistencyPath(lo, lo+k, m0, flag)
+		return append(path, m.rangeRoot(lo+k, hi))
 	}
-	path := consistencyPath(leaves[k:], m0-k, false)
-	return append(path, subtreeRoot(leaves[:k]))
+	path := m.consistencyPath(lo+k, hi, m0-k, false)
+	return append(path, m.rangeRoot(lo, lo+k))
 }
 
 // VerifyConsistency checks that newRoot's tree extends oldRoot's tree.

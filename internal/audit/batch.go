@@ -1,0 +1,95 @@
+package audit
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/aolog"
+	"repro/internal/bls"
+)
+
+// STHBatch accumulates BLS-signed tree heads — from one monitor over time,
+// or from many monitors — so an auditor pays one multi-pairing for the
+// whole set instead of one pairing check per head. Zero value is ready to
+// use; not safe for concurrent use.
+//
+// This is the client half of the monitor's TreeHeadBLS: a client that
+// polls K monitors every round buffers the heads and flushes the batch
+// once per round, which is where the paper's "millions of users auditing"
+// cost actually concentrates.
+type STHBatch struct {
+	pks   []*bls.PublicKey
+	heads []aolog.BLSSignedHead
+}
+
+// Add queues one signed head attributed to the given signer key.
+func (b *STHBatch) Add(pk *bls.PublicKey, head aolog.BLSSignedHead) error {
+	if pk == nil {
+		return errors.New("audit: nil monitor key")
+	}
+	b.pks = append(b.pks, pk)
+	b.heads = append(b.heads, head)
+	return nil
+}
+
+// Len reports the number of queued heads.
+func (b *STHBatch) Len() int { return len(b.heads) }
+
+// Verify checks every queued head in one batched pairing check. On
+// success the batch is reset for reuse; on failure the queued heads are
+// kept so the caller can attribute blame per head (Attribute, or manual
+// aolog.VerifyHeadBLS over Heads/Keys) before Reset.
+func (b *STHBatch) Verify() error {
+	if err := aolog.VerifyHeadsBLS(b.pks, b.heads); err != nil {
+		return err
+	}
+	b.Reset()
+	return nil
+}
+
+// Attribute verifies each queued head individually and returns the
+// indexes that fail — the per-head fallback after a failed Verify.
+func (b *STHBatch) Attribute() []int {
+	var bad []int
+	for i := range b.heads {
+		if !aolog.VerifyHeadBLS(b.pks[i], &b.heads[i]) {
+			bad = append(bad, i)
+		}
+	}
+	return bad
+}
+
+// Heads returns the queued heads (positional with Keys).
+func (b *STHBatch) Heads() []aolog.BLSSignedHead { return b.heads }
+
+// Keys returns the queued signer keys (positional with Heads).
+func (b *STHBatch) Keys() []*bls.PublicKey { return b.pks }
+
+// Reset drops all queued heads.
+func (b *STHBatch) Reset() { b.pks, b.heads = nil, nil }
+
+// VerifyMonitorHeads is the Client entry point for batched tree-head
+// auditing: it verifies the given heads (all from the monitor holding pk)
+// in one multi-pairing, then checks that the sequence of (size, head)
+// pairs is plausible for an append-only log — sizes must be non-decreasing
+// and equal sizes must carry equal heads. A same-size disagreement is
+// returned as an aolog-style equivocation finding.
+func (c *Client) VerifyMonitorHeads(pk *bls.PublicKey, heads []aolog.BLSSignedHead) error {
+	pks := make([]*bls.PublicKey, len(heads))
+	for i := range pks {
+		pks[i] = pk
+	}
+	if err := aolog.VerifyHeadsBLS(pks, heads); err != nil {
+		return err
+	}
+	for i := 1; i < len(heads); i++ {
+		a, b := &heads[i-1], &heads[i]
+		if a.Size == b.Size && a.Head != b.Head {
+			return fmt.Errorf("audit: monitor equivocated: two heads at size %d", a.Size)
+		}
+		if b.Size < a.Size {
+			return fmt.Errorf("audit: monitor log shrank (%d -> %d)", a.Size, b.Size)
+		}
+	}
+	return nil
+}

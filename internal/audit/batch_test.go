@@ -1,0 +1,65 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/aolog"
+	"repro/internal/bls"
+)
+
+func TestSTHBatchVerifyAndAttribute(t *testing.T) {
+	skA, pkA, err := bls.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	skB, pkB, err := bls.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b STHBatch
+	if err := b.Verify(); err == nil {
+		t.Fatal("empty batch verified")
+	}
+	if err := b.Add(nil, aolog.BLSSignedHead{}); err == nil {
+		t.Fatal("nil key accepted")
+	}
+	var head aolog.Digest
+	for i := 0; i < 3; i++ {
+		head[0] = byte(i)
+		if err := b.Add(pkA, aolog.SignHeadBLS(skA, uint64(i+1), head)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.Add(pkB, aolog.SignHeadBLS(skB, 9, head)); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 4 {
+		t.Fatalf("batch length %d", b.Len())
+	}
+	if err := b.Verify(); err != nil {
+		t.Fatalf("honest multi-monitor batch rejected: %v", err)
+	}
+	if b.Len() != 0 {
+		t.Fatal("batch not reset after successful verify")
+	}
+
+	// One head signed by the wrong monitor: Verify fails, the heads stay
+	// queued, and Attribute names exactly the bad index.
+	b.Add(pkA, aolog.SignHeadBLS(skA, 10, head))
+	b.Add(pkA, aolog.SignHeadBLS(skB, 11, head)) // forged: B's key, A's slot
+	b.Add(pkB, aolog.SignHeadBLS(skB, 12, head))
+	if err := b.Verify(); err == nil {
+		t.Fatal("batch with forged head accepted")
+	}
+	if b.Len() != 3 {
+		t.Fatal("failed verify must keep the heads for attribution")
+	}
+	bad := b.Attribute()
+	if len(bad) != 1 || bad[0] != 1 {
+		t.Fatalf("attribution wrong: %v", bad)
+	}
+	b.Reset()
+	if b.Len() != 0 {
+		t.Fatal("reset did not clear the batch")
+	}
+}

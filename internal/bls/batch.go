@@ -1,0 +1,168 @@
+package bls
+
+import (
+	"crypto/rand"
+
+	"repro/internal/bls12381"
+	"repro/internal/ff"
+)
+
+// Batch verification via random linear combination: instead of one pairing
+// check (two Miller loops plus a final exponentiation) per signature, a
+// batch of n triples (pk_i, m_i, sig_i) is checked as
+//
+//	e(sum r_i*sig_i, -G2) * prod_pk e(sum_{i: pk_i=pk} r_i*H(m_i), pk) == 1
+//
+// for verifier-chosen random 128-bit coefficients r_i. A batch over d
+// distinct public keys costs d+1 Miller loops, ONE final exponentiation,
+// and 2n half-length G1 scalar multiplications — versus 2n Miller loops and
+// n final exponentiations for sequential Verify calls. Soundness: if any
+// triple is invalid, the combined check passes with probability at most
+// 2^-128 over the r_i (the standard small-exponents argument); coefficients
+// are drawn fresh from crypto/rand on every call, so a forger cannot target
+// them.
+
+// batchCoeff samples a nonzero 128-bit scalar from crypto/rand.
+func batchCoeff() (ff.Fr, error) {
+	var buf [32]byte
+	if _, err := rand.Read(buf[16:]); err != nil {
+		return ff.Fr{}, err
+	}
+	var r ff.Fr
+	if err := r.SetBytes(buf[:]); err != nil {
+		return ff.Fr{}, err
+	}
+	if r.IsZero() {
+		r.SetOne()
+	}
+	return r, nil
+}
+
+// VerifyBatch reports whether every (pks[i], msgs[i], sigs[i]) triple is a
+// valid signature, amortizing one multi-pairing over the whole batch. It is
+// equivalent to calling Verify on each triple (up to the 2^-128 soundness
+// error described above): messages may repeat, keys may repeat, and unlike
+// VerifyAggregate no distinct-message rule is needed because each triple
+// carries its own signature. An empty batch is rejected.
+func VerifyBatch(pks []*PublicKey, msgs [][]byte, sigs []*Signature) bool {
+	n := len(sigs)
+	if n == 0 || len(pks) != n || len(msgs) != n {
+		return false
+	}
+	if n == 1 {
+		return Verify(pks[0], msgs[0], sigs[0])
+	}
+	// One pairing slot per distinct public key, in order of appearance.
+	type group struct {
+		pk  bls12381.G2Affine
+		acc bls12381.G1Jac // sum r_i * H(m_i) over this key's messages
+	}
+	var groups []group
+	index := make(map[[bls12381.G2CompressedSize]byte]int, 4)
+	var sigAcc bls12381.G1Jac
+	sigAcc.SetInfinity()
+	for i := 0; i < n; i++ {
+		if sigs[i] == nil || pks[i] == nil || sigs[i].p.IsInfinity() || pks[i].p.IsInfinity() {
+			return false
+		}
+		r, err := batchCoeff()
+		if err != nil {
+			return false
+		}
+		var t bls12381.G1Jac
+		t.FromAffine(&sigs[i].p)
+		t.ScalarMult(&t, &r)
+		sigAcc.Add(&sigAcc, &t)
+
+		h := bls12381.HashToG1(msgs[i], SignatureDST)
+		t.FromAffine(&h)
+		t.ScalarMult(&t, &r)
+		key := pks[i].p.Bytes()
+		gi, ok := index[key]
+		if !ok {
+			gi = len(groups)
+			index[key] = gi
+			g := group{pk: pks[i].p}
+			g.acc.SetInfinity()
+			groups = append(groups, g)
+		}
+		groups[gi].acc.Add(&groups[gi].acc, &t)
+	}
+	g2 := bls12381.G2Generator()
+	var negG2 bls12381.G2Affine
+	negG2.Neg(&g2)
+	ps := make([]bls12381.G1Affine, 0, len(groups)+1)
+	qs := make([]bls12381.G2Affine, 0, len(groups)+1)
+	ps = append(ps, sigAcc.Affine())
+	qs = append(qs, negG2)
+	for i := range groups {
+		ps = append(ps, groups[i].acc.Affine())
+		qs = append(qs, groups[i].pk)
+	}
+	return bls12381.PairingCheck(ps, qs)
+}
+
+// VerifyAggregateSameMsg is the fast path for n signers of the SAME
+// message whose signatures were aggregated with AggregateSignatures: it
+// folds the public keys and performs a single pairing check,
+// e(sig, -G2) * e(H(m), sum pk_i) == 1. Callers must have verified a proof
+// of possession for every key (VerifyPossession); without that, rogue-key
+// attacks forge aggregates.
+func VerifyAggregateSameMsg(pks []*PublicKey, msg []byte, sig *Signature) bool {
+	if len(pks) == 0 || sig == nil || sig.p.IsInfinity() {
+		return false
+	}
+	apk, err := AggregatePublicKeys(pks...)
+	if err != nil || apk.p.IsInfinity() {
+		return false
+	}
+	return Verify(apk, msg, sig)
+}
+
+// VerifyShareSignaturesBatch checks n signature shares on one message
+// against their share public keys in a single two-pairing check:
+// e(sum r_i*sig_i, -G2) * e(H(m), sum r_i*pk_i) == 1. This is what a
+// combiner pays per threshold signature instead of t sequential pairing
+// checks. Shares with out-of-range indexes reject the whole batch; a false
+// return says only that at least one share is invalid (fall back to
+// per-share VerifyShareSignature to attribute blame).
+func (tk *ThresholdKey) VerifyShareSignaturesBatch(msg []byte, shares []SignatureShare) bool {
+	n := len(shares)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return tk.VerifyShareSignature(msg, &shares[0])
+	}
+	var sigAcc bls12381.G1Jac
+	var pkAcc bls12381.G2Jac
+	sigAcc.SetInfinity()
+	pkAcc.SetInfinity()
+	for i := range shares {
+		ss := &shares[i]
+		if ss.Index == 0 || int(ss.Index) > tk.N || ss.Sig.p.IsInfinity() {
+			return false
+		}
+		r, err := batchCoeff()
+		if err != nil {
+			return false
+		}
+		var t bls12381.G1Jac
+		t.FromAffine(&ss.Sig.p)
+		t.ScalarMult(&t, &r)
+		sigAcc.Add(&sigAcc, &t)
+		var u bls12381.G2Jac
+		u.FromAffine(&tk.ShareKeys[ss.Index-1].p)
+		u.ScalarMult(&u, &r)
+		pkAcc.Add(&pkAcc, &u)
+	}
+	h := bls12381.HashToG1(msg, SignatureDST)
+	g2 := bls12381.G2Generator()
+	var negG2 bls12381.G2Affine
+	negG2.Neg(&g2)
+	apk := pkAcc.Affine()
+	return bls12381.PairingCheck(
+		[]bls12381.G1Affine{sigAcc.Affine(), h},
+		[]bls12381.G2Affine{negG2, apk},
+	)
+}

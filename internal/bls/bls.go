@@ -8,6 +8,12 @@
 // field; each trust domain holds one share, produces a signature share, and
 // any t shares combine via Lagrange interpolation in the exponent into the
 // unique signature that verifies under the group public key.
+//
+// Verification hot paths are batched (see batch.go): VerifyBatch folds
+// many independent signatures into one multi-pairing via random linear
+// combination, VerifyAggregateSameMsg is the same-message aggregate fast
+// path, and VerifyShareSignaturesBatch checks all t shares of a threshold
+// signature in a single two-pairing check.
 package bls
 
 import (

@@ -204,6 +204,34 @@ func TestThresholdSignHelper(t *testing.T) {
 	}
 }
 
+func TestThresholdSignFallbackOnBadShare(t *testing.T) {
+	// Corrupting one of the first t key shares makes the batched check
+	// fail; the fallback must keep the valid already-signed share and
+	// recover using a later key share.
+	tk, shares, err := ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad, err := ff.RandFrNonZero()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares[0].Share = bad
+	msg := []byte("fallback path")
+	sig, err := ThresholdSign(tk, shares, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Verify(&tk.GroupKey, msg, sig) {
+		t.Fatal("fallback signature invalid")
+	}
+	// Two bad shares of three leave only one valid: must fail.
+	shares[1].Share = bad
+	if _, err := ThresholdSign(tk, shares, msg); err == nil {
+		t.Fatal("signed with fewer than t valid shares")
+	}
+}
+
 func TestRecoverSecret(t *testing.T) {
 	tk, shares, _ := ThresholdKeyGen(3, 5)
 	rec, err := RecoverSecret(shares[1:4], 3)

@@ -1,0 +1,37 @@
+package bls_test
+
+import (
+	"fmt"
+
+	"repro/internal/bls"
+)
+
+// ExampleVerifyBatch shows an auditor amortizing one multi-pairing over a
+// batch of signatures from different signers, and the batch rejecting as
+// soon as any single signature is forged.
+func ExampleVerifyBatch() {
+	var pks []*bls.PublicKey
+	var msgs [][]byte
+	var sigs []*bls.Signature
+	for i := 0; i < 4; i++ {
+		sk, pk, err := bls.GenerateKey()
+		if err != nil {
+			panic(err)
+		}
+		msg := []byte(fmt.Sprintf("signed tree head %d", i))
+		pks = append(pks, pk)
+		msgs = append(msgs, msg)
+		sigs = append(sigs, sk.Sign(msg))
+	}
+	fmt.Println("honest batch:", bls.VerifyBatch(pks, msgs, sigs))
+
+	forger, _, err := bls.GenerateKey()
+	if err != nil {
+		panic(err)
+	}
+	sigs[2] = forger.Sign(msgs[2]) // right message, wrong key
+	fmt.Println("one forged signature:", bls.VerifyBatch(pks, msgs, sigs))
+	// Output:
+	// honest batch: true
+	// one forged signature: false
+}

@@ -131,25 +131,38 @@ func (tk *ThresholdKey) VerifyShareSignature(msg []byte, ss *SignatureShare) boo
 
 // ThresholdSign is a convenience that signs msg with each of the provided
 // key shares and combines the first t valid shares into a group signature.
+// The happy path verifies all t shares in one batched two-pairing check
+// (VerifyShareSignaturesBatch); only when that fails does it fall back to
+// per-share verification to skip the invalid shares.
 func ThresholdSign(tk *ThresholdKey, shares []KeyShare, msg []byte) (*Signature, error) {
 	if len(shares) < tk.T {
 		return nil, errors.New("bls: not enough key shares")
 	}
-	sigShares := make([]SignatureShare, 0, len(shares))
-	for i := range shares {
-		ss := shares[i].SignShare(msg)
-		if !tk.VerifyShareSignature(msg, &ss) {
-			continue
-		}
-		sigShares = append(sigShares, ss)
-		if len(sigShares) == tk.T {
-			break
+	fast := make([]SignatureShare, 0, tk.T)
+	for i := 0; i < tk.T; i++ {
+		fast = append(fast, shares[i].SignShare(msg))
+	}
+	if tk.VerifyShareSignaturesBatch(msg, fast) {
+		return CombineShares(fast, tk.T)
+	}
+	// Fallback: keep the already-produced shares that verify, then sign
+	// with the remaining key shares until t valid ones are in hand.
+	valid := fast[:0]
+	for i := range fast {
+		if tk.VerifyShareSignature(msg, &fast[i]) {
+			valid = append(valid, fast[i])
 		}
 	}
-	if len(sigShares) < tk.T {
+	for i := tk.T; i < len(shares) && len(valid) < tk.T; i++ {
+		ss := shares[i].SignShare(msg)
+		if tk.VerifyShareSignature(msg, &ss) {
+			valid = append(valid, ss)
+		}
+	}
+	if len(valid) < tk.T {
 		return nil, errors.New("bls: not enough valid signature shares")
 	}
-	return CombineShares(sigShares, tk.T)
+	return CombineShares(valid, tk.T)
 }
 
 // RecoverSecret reconstructs the group secret from any t key shares.

@@ -32,6 +32,7 @@ import (
 	"repro/internal/bls12381"
 	"repro/internal/framework"
 	"repro/internal/sandbox"
+	"repro/internal/transport"
 )
 
 // Host-function import names.
@@ -325,9 +326,19 @@ type Invoker interface {
 	NumDomains() int
 }
 
+// BatchInvoker is optionally satisfied by deployments whose domains accept
+// batched invoke RPCs (*core.Deployment does); ThresholdSignBatch uses it
+// to ship all messages to a domain in one frame.
+type BatchInvoker interface {
+	Invoker
+	InvokeBatch(domainIndex int, requests [][]byte) ([][]byte, []string, error)
+}
+
 // ThresholdSign collects signature shares from the first t responsive
-// domains of the deployment and combines them into the group signature,
-// verifying each share against the threshold public key first.
+// domains of the deployment and combines them into the group signature.
+// Shares are verified in one batched two-pairing check once t have
+// arrived; only if that batch fails does it verify per share to drop the
+// invalid ones and keep scanning domains.
 func ThresholdSign(inv Invoker, tk *bls.ThresholdKey, msg []byte) (*bls.Signature, error) {
 	req := EncodeSignRequest(msg)
 	shares := make([]bls.SignatureShare, 0, tk.T)
@@ -343,14 +354,157 @@ func ThresholdSign(inv Invoker, tk *bls.ThresholdKey, msg []byte) (*bls.Signatur
 			lastErr = err
 			continue
 		}
-		if !tk.VerifyShareSignature(msg, ss) {
-			lastErr = fmt.Errorf("blsapp: domain %d returned an invalid share", i)
-			continue
-		}
 		shares = append(shares, *ss)
+		if len(shares) == tk.T && !tk.VerifyShareSignaturesBatch(msg, shares) {
+			shares, lastErr = dropInvalidShares(tk, msg, shares)
+		}
 	}
 	if len(shares) < tk.T {
 		return nil, fmt.Errorf("blsapp: only %d of %d required shares (last error: %v)", len(shares), tk.T, lastErr)
 	}
 	return bls.CombineShares(shares, tk.T)
+}
+
+// dropInvalidShares attributes a failed batch check, keeping the valid
+// shares and reporting the first invalid one.
+func dropInvalidShares(tk *bls.ThresholdKey, msg []byte, shares []bls.SignatureShare) ([]bls.SignatureShare, error) {
+	valid := shares[:0]
+	var err error
+	for i := range shares {
+		if tk.VerifyShareSignature(msg, &shares[i]) {
+			valid = append(valid, shares[i])
+			continue
+		}
+		if err == nil {
+			err = fmt.Errorf("blsapp: share index %d is invalid", shares[i].Index)
+		}
+	}
+	return valid, err
+}
+
+// ThresholdSignBatch signs every message in msgs, returning one group
+// signature per message. It ships requests to each domain in batched
+// invoke RPCs when the deployment supports them (chunked to the
+// transport's per-frame cap), asks each additional domain only for the
+// messages still missing shares, and verifies each message's t shares in
+// one batched pairing check.
+func ThresholdSignBatch(inv Invoker, tk *bls.ThresholdKey, msgs [][]byte) ([]*bls.Signature, error) {
+	if len(msgs) == 0 {
+		return nil, errors.New("blsapp: empty message batch")
+	}
+	reqs := make([][]byte, len(msgs))
+	for i, m := range msgs {
+		reqs[i] = EncodeSignRequest(m)
+	}
+	shares := make([][]bls.SignatureShare, len(msgs))
+	var lastErr error
+	for i := 0; i < inv.NumDomains(); i++ {
+		// Only messages still missing shares go to this domain.
+		var pending []int
+		for j := range msgs {
+			if len(shares[j]) < tk.T {
+				pending = append(pending, j)
+			}
+		}
+		if len(pending) == 0 {
+			break
+		}
+		pReqs := make([][]byte, len(pending))
+		for k, j := range pending {
+			pReqs[k] = reqs[j]
+		}
+		resps, errs, err := invokeMany(inv, i, pReqs)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		for k, j := range pending {
+			if errs[k] != "" {
+				lastErr = errors.New(errs[k])
+				continue
+			}
+			// Guard against a misbehaving domain answering with fewer
+			// responses than requests.
+			if k >= len(resps) {
+				lastErr = fmt.Errorf("blsapp: domain %d truncated the batch response", i)
+				continue
+			}
+			ss, err := DecodeSignResponse(resps[k])
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			shares[j] = append(shares[j], *ss)
+			if len(shares[j]) < tk.T {
+				continue
+			}
+			if !tk.VerifyShareSignaturesBatch(msgs[j], shares[j]) {
+				shares[j], lastErr = dropInvalidShares(tk, msgs[j], shares[j])
+			}
+		}
+	}
+	out := make([]*bls.Signature, len(msgs))
+	for j := range msgs {
+		if len(shares[j]) < tk.T {
+			return nil, fmt.Errorf("blsapp: message %d collected %d of %d shares (last error: %v)",
+				j, len(shares[j]), tk.T, lastErr)
+		}
+		sig, err := bls.CombineShares(shares[j], tk.T)
+		if err != nil {
+			return nil, err
+		}
+		out[j] = sig
+	}
+	return out, nil
+}
+
+// invokeMany fetches one response per request from domain i: batched
+// frames chunked to the transport's per-frame cap when the deployment
+// supports them, sequential invokes otherwise. Both returned slices have
+// exactly one entry per request (truncated chunks from a misbehaving
+// domain are padded in place with per-entry errors).
+func invokeMany(inv Invoker, i int, requests [][]byte) ([][]byte, []string, error) {
+	bi, hasBatch := inv.(BatchInvoker)
+	if !hasBatch {
+		resps := make([][]byte, len(requests))
+		errs := make([]string, len(requests))
+		for j, r := range requests {
+			resp, err := inv.Invoke(i, r)
+			if err != nil {
+				errs[j] = err.Error()
+				continue
+			}
+			resps[j] = resp
+		}
+		return resps, errs, nil
+	}
+	var resps [][]byte
+	var errs []string
+	for start := 0; start < len(requests); start += transport.MaxBatchCalls {
+		end := start + transport.MaxBatchCalls
+		if end > len(requests) {
+			end = len(requests)
+		}
+		r, e, err := bi.InvokeBatch(i, requests[start:end])
+		if err != nil {
+			return nil, nil, err
+		}
+		// Pad both slices to the chunk size so positions stay aligned to
+		// requests even when a misbehaving domain truncates one chunk.
+		if len(r) > end-start {
+			r = r[:end-start]
+		}
+		if len(e) < end-start {
+			e = append(e, make([]string, end-start-len(e))...)
+		}
+		for k := len(r); k < end-start; k++ {
+			r = append(r, nil)
+			if e[k] == "" {
+				e[k] = "blsapp: domain truncated the batch response"
+			}
+		}
+		resps = append(resps, r...)
+		errs = append(errs, e[:end-start]...)
+	}
+	return resps, errs, nil
 }

@@ -1,10 +1,12 @@
 package blsapp
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/bls"
 	"repro/internal/framework"
+	"repro/internal/transport"
 )
 
 func newAppFramework(t *testing.T, ks *bls.KeyShare) (*framework.Framework, *framework.Developer) {
@@ -136,6 +138,175 @@ func TestThresholdSignAcrossSandboxes(t *testing.T) {
 	inv.fail[1] = true
 	if _, err := ThresholdSign(inv, tk, msg); err == nil {
 		t.Fatal("signed with fewer than t domains")
+	}
+}
+
+func TestThresholdSignBatchAcrossSandboxes(t *testing.T) {
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := &memInvoker{fail: map[int]bool{}}
+	for i := range shares {
+		f, _ := newAppFramework(t, &shares[i])
+		inv.fws = append(inv.fws, f)
+	}
+	msgs := [][]byte{
+		[]byte("batch message one"),
+		[]byte("batch message two"),
+		[]byte("batch message three"),
+	}
+	sigs, err := ThresholdSignBatch(inv, tk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sigs) != len(msgs) {
+		t.Fatalf("got %d signatures", len(sigs))
+	}
+	for i, sig := range sigs {
+		if !bls.Verify(&tk.GroupKey, msgs[i], sig) {
+			t.Fatalf("batch signature %d invalid", i)
+		}
+		// Batch signatures must equal the single-message path's output
+		// (threshold BLS signatures are unique).
+		single, err := ThresholdSign(inv, tk, msgs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sig.Equal(single) {
+			t.Fatalf("batch signature %d differs from single-path signature", i)
+		}
+	}
+	// One domain down: batch still completes (2-of-3).
+	inv.fail[0] = true
+	if _, err := ThresholdSignBatch(inv, tk, msgs); err != nil {
+		t.Fatalf("batch with one failed domain: %v", err)
+	}
+	// Below threshold: the whole batch fails.
+	inv.fail[1] = true
+	if _, err := ThresholdSignBatch(inv, tk, msgs); err == nil {
+		t.Fatal("batch signed with fewer than t domains")
+	}
+	if _, err := ThresholdSignBatch(inv, tk, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+}
+
+// countingInvoker records how many batched requests each domain receives.
+type countingInvoker struct {
+	*memInvoker
+	batchCounts []int
+}
+
+func (ci *countingInvoker) InvokeBatch(i int, reqs [][]byte) ([][]byte, []string, error) {
+	ci.batchCounts[i] += len(reqs)
+	resps := make([][]byte, len(reqs))
+	errs := make([]string, len(reqs))
+	for j, r := range reqs {
+		resp, err := ci.Invoke(i, r)
+		if err != nil {
+			errs[j] = err.Error()
+			continue
+		}
+		resps[j] = resp
+	}
+	return resps, errs, nil
+}
+
+func TestThresholdSignBatchOnlySendsPendingMessages(t *testing.T) {
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := &memInvoker{fail: map[int]bool{}}
+	for i := range shares {
+		f, _ := newAppFramework(t, &shares[i])
+		mi.fws = append(mi.fws, f)
+	}
+	ci := &countingInvoker{memInvoker: mi, batchCounts: make([]int, 3)}
+	msgs := [][]byte{[]byte("pending a"), []byte("pending b")}
+	if _, err := ThresholdSignBatch(ci, tk, msgs); err != nil {
+		t.Fatal(err)
+	}
+	// Domains 0 and 1 supply the t=2 shares for both messages; domain 2
+	// must not be asked to sign anything.
+	if ci.batchCounts[0] != 2 || ci.batchCounts[1] != 2 || ci.batchCounts[2] != 0 {
+		t.Fatalf("batched request counts per domain = %v, want [2 2 0]", ci.batchCounts)
+	}
+}
+
+// echoTruncInvoker echoes each request back as its response but drops the
+// last entry of every batch, exercising chunk-boundary alignment without
+// any crypto.
+type echoTruncInvoker struct{}
+
+func (echoTruncInvoker) Invoke(_ int, r []byte) ([]byte, error) { return r, nil }
+func (echoTruncInvoker) NumDomains() int                        { return 1 }
+func (echoTruncInvoker) InvokeBatch(_ int, reqs [][]byte) ([][]byte, []string, error) {
+	return append([][]byte{}, reqs[:len(reqs)-1]...), nil, nil
+}
+
+func TestInvokeManyAlignsTruncatedChunks(t *testing.T) {
+	// More requests than one transport frame allows: invokeMany chunks,
+	// and a domain truncating each chunk must not shift later chunks'
+	// responses onto earlier requests' positions.
+	const n = transport.MaxBatchCalls + 904
+	reqs := make([][]byte, n)
+	for i := range reqs {
+		reqs[i] = []byte(fmt.Sprintf("req-%d", i))
+	}
+	resps, errs, err := invokeMany(echoTruncInvoker{}, 0, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != n || len(errs) != n {
+		t.Fatalf("got %d responses, %d errors, want %d of each", len(resps), len(errs), n)
+	}
+	truncated := map[int]bool{transport.MaxBatchCalls - 1: true, n - 1: true}
+	for k := range reqs {
+		if truncated[k] {
+			if resps[k] != nil || errs[k] == "" {
+				t.Fatalf("position %d: truncated entry not marked (resp=%q err=%q)", k, resps[k], errs[k])
+			}
+			continue
+		}
+		if string(resps[k]) != string(reqs[k]) || errs[k] != "" {
+			t.Fatalf("position %d misaligned: resp=%q err=%q", k, resps[k], errs[k])
+		}
+	}
+}
+
+// truncatingInvoker wraps memInvoker as a BatchInvoker whose batch
+// responses are short by one entry, as a misbehaving domain's would be.
+type truncatingInvoker struct{ *memInvoker }
+
+func (ti *truncatingInvoker) InvokeBatch(i int, reqs [][]byte) ([][]byte, []string, error) {
+	resps := make([][]byte, 0, len(reqs))
+	for _, r := range reqs[:len(reqs)-1] {
+		resp, err := ti.Invoke(i, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		resps = append(resps, resp)
+	}
+	return resps, nil, nil
+}
+
+func TestThresholdSignBatchSurvivesTruncatedResponse(t *testing.T) {
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mi := &memInvoker{fail: map[int]bool{}}
+	for i := range shares {
+		f, _ := newAppFramework(t, &shares[i])
+		mi.fws = append(mi.fws, f)
+	}
+	msgs := [][]byte{[]byte("trunc a"), []byte("trunc b")}
+	// Every domain truncates its batch response: the last message can
+	// never gather shares, so the batch must fail cleanly — not panic.
+	if _, err := ThresholdSignBatch(&truncatingInvoker{mi}, tk, msgs); err == nil {
+		t.Fatal("batch succeeded despite truncated responses")
 	}
 }
 

@@ -174,6 +174,27 @@ func (d *Deployment) Invoke(i int, request []byte) ([]byte, error) {
 	return resp.Response, nil
 }
 
+// InvokeBatch sends many application requests to domain i in one RPC
+// frame. The slice is positional: result j answers requests[j], and a
+// per-request failure surfaces as a nil entry with its error text in errs.
+func (d *Deployment) InvokeBatch(i int, requests [][]byte) ([][]byte, []string, error) {
+	if i < 0 || i >= len(d.domains) {
+		return nil, nil, fmt.Errorf("core: domain index %d out of range", i)
+	}
+	c, err := d.conn(i)
+	if err != nil {
+		return nil, nil, err
+	}
+	var resp domain.InvokeBatchResponse
+	if err := c.Call("invokebatch", domain.InvokeBatchRequest{Requests: requests}, &resp); err != nil {
+		return nil, nil, err
+	}
+	if len(resp.Responses) != len(requests) {
+		return nil, nil, fmt.Errorf("core: domain %d answered %d of %d batch requests", i, len(resp.Responses), len(requests))
+	}
+	return resp.Responses, resp.Errors, nil
+}
+
 // PushUpdate distributes a signed update to every domain (stage and
 // activate). It returns the first error but attempts all domains, so a
 // partially updated deployment — which the audit protocol will surface —

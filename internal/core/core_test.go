@@ -72,6 +72,51 @@ func TestDeployAndThresholdSign(t *testing.T) {
 	}
 }
 
+func TestDeployThresholdSignBatch(t *testing.T) {
+	// End-to-end batched path: ThresholdSignBatch detects that Deployment
+	// is a BatchInvoker and ships all messages per domain through the
+	// "invokebatch" RPC in one frame.
+	dep, tk, _ := deployBLS(t, false)
+	msgs := [][]byte{
+		[]byte("batched rpc message 0"),
+		[]byte("batched rpc message 1"),
+		[]byte("batched rpc message 2"),
+		[]byte("batched rpc message 3"),
+	}
+	sigs, err := blsapp.ThresholdSignBatch(dep, tk, msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pks := make([]*bls.PublicKey, len(msgs))
+	for i := range pks {
+		pks[i] = &tk.GroupKey
+	}
+	if !bls.VerifyBatch(pks, msgs, sigs) {
+		t.Fatal("batched deployment signatures invalid")
+	}
+	// The raw batched invoke surface answers positionally; a request the
+	// application rejects must not poison its neighbors.
+	good := blsapp.EncodeSignRequest([]byte("ok"))
+	resps, errs, err := dep.InvokeBatch(1, [][]byte{good, {0xff, 0xee}, good})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 3 {
+		t.Fatalf("got %d batched responses", len(resps))
+	}
+	for _, i := range []int{0, 2} {
+		if len(errs) > i && errs[i] != "" {
+			t.Fatalf("good batched request %d errored: %s", i, errs[i])
+		}
+		if _, err := blsapp.DecodeSignResponse(resps[i]); err != nil {
+			t.Fatalf("good batched request %d: %v", i, err)
+		}
+	}
+	if _, err := blsapp.DecodeSignResponse(resps[1]); err == nil && (len(errs) < 2 || errs[1] == "") {
+		t.Fatal("malformed batched request produced a valid share")
+	}
+}
+
 func TestDeployAuditClean(t *testing.T) {
 	dep, _, _ := deployBLS(t, false)
 	c := dep.AuditClient()

@@ -76,6 +76,20 @@ type InvokeResponse struct {
 	Response []byte `json:"response"`
 }
 
+// InvokeBatchRequest carries many application requests in one RPC, so a
+// client signing a batch of messages pays one public-socket round trip per
+// domain instead of one per message.
+type InvokeBatchRequest struct {
+	Requests [][]byte `json:"requests"`
+}
+
+// InvokeBatchResponse returns one entry per request; a failed invocation
+// yields an empty Response and its error text in Errors at the same index.
+type InvokeBatchResponse struct {
+	Responses [][]byte `json:"responses"`
+	Errors    []string `json:"errors,omitempty"`
+}
+
 // UpdateRequest ships a developer-signed update.
 type UpdateRequest struct {
 	Version     uint64 `json:"version"`
@@ -340,6 +354,36 @@ func (d *Domain) registerHandlers() {
 			return nil, err
 		}
 		return InvokeResponse{Response: resp}, nil
+	})
+	d.enclaveServer.HandleNoBatch("invokebatch", func(body json.RawMessage) (any, error) {
+		var req InvokeBatchRequest
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		// Same work cap as the transport's _batch kind: one frame must not
+		// queue unbounded application invocations.
+		if len(req.Requests) > transport.MaxBatchCalls {
+			return nil, fmt.Errorf("domain: batch of %d exceeds limit %d", len(req.Requests), transport.MaxBatchCalls)
+		}
+		out := InvokeBatchResponse{
+			Responses: make([][]byte, len(req.Requests)),
+			Errors:    make([]string, len(req.Requests)),
+		}
+		for i, r := range req.Requests {
+			var resp []byte
+			var err error
+			if d.hasTEE {
+				resp, err = d.invokeViaAppSocket(r)
+			} else {
+				resp, err = d.fw.Invoke(r)
+			}
+			if err != nil {
+				out.Errors[i] = err.Error()
+				continue
+			}
+			out.Responses[i] = resp
+		}
+		return out, nil
 	})
 	d.enclaveServer.Handle("update", func(body json.RawMessage) (any, error) {
 		var req UpdateRequest

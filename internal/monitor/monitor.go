@@ -6,7 +6,7 @@
 // attested statuses they observe to a public, Merkle-logged witness:
 //
 //   - every submitted status envelope is re-verified, then appended to a
-//     public Merkle log (so the monitor itself is auditable via
+//     public sharded Merkle log (so the monitor itself is auditable via
 //     inclusion/consistency proofs and signed tree heads);
 //   - per domain, the monitor keeps the timeline of observed (counter,
 //     log length, head) triples and flags any pair of observations that
@@ -14,19 +14,29 @@
 //     publicly verifiable Misbehavior proofs as the audit package.
 //
 // This is the deployment of the paper's "clients and third-party
-// auditors" role (§1, §3.3) on top of the aolog building block.
+// auditors" role (§1, §3.3) on top of the aolog building block. The log
+// is an aolog.ShardedLog so heavy gossip traffic stripes across shards,
+// SubmitBatch ingests a whole gossip frame under one lock, and tree heads
+// sign the super-root. With a BLS head key configured (EnableBLSHeads),
+// the monitor also serves BLS-signed heads that auditors verify in
+// batches (audit.STHBatch, bls.VerifyBatch).
 package monitor
 
 import (
 	"bytes"
 	"crypto/ed25519"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"sync"
 
 	"repro/internal/aolog"
 	"repro/internal/audit"
+	"repro/internal/bls"
 )
+
+// DefaultShards is the stripe count of the monitor's public log.
+const DefaultShards = 4
 
 // Observation is one remembered attested status.
 type Observation struct {
@@ -41,62 +51,146 @@ type Monitor struct {
 	pub    ed25519.PublicKey
 
 	mu     sync.Mutex
-	log    aolog.MerkleLog
+	log    *aolog.ShardedLog
+	blsKey *bls.SecretKey
 	perDom map[string][]Observation
 	alerts []audit.Misbehavior
 }
 
-// New creates a monitor for a deployment. The ed25519 key signs tree
-// heads; generate one per monitor identity.
+// New creates a monitor for a deployment with DefaultShards log stripes.
+// The ed25519 key signs tree heads; generate one per monitor identity.
 func New(params audit.Params, signer ed25519.PrivateKey) *Monitor {
+	m, err := NewSharded(params, signer, DefaultShards)
+	if err != nil {
+		panic("monitor: default shard count invalid: " + err.Error())
+	}
+	return m
+}
+
+// NewSharded creates a monitor whose public log stripes across the given
+// number of shards.
+func NewSharded(params audit.Params, signer ed25519.PrivateKey, shards int) (*Monitor, error) {
+	log, err := aolog.NewShardedLog(shards)
+	if err != nil {
+		return nil, err
+	}
 	return &Monitor{
 		params: params,
 		signer: signer,
 		pub:    signer.Public().(ed25519.PublicKey),
+		log:    log,
 		perDom: make(map[string][]Observation),
-	}
+	}, nil
 }
 
-// PublicKey returns the monitor's tree-head signing key.
+// EnableBLSHeads equips the monitor with a BLS tree-head key so auditors
+// can batch-verify its heads (TreeHeadBLS).
+func (m *Monitor) EnableBLSHeads(sk *bls.SecretKey) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.blsKey = sk
+}
+
+// PublicKey returns the monitor's ed25519 tree-head signing key.
 func (m *Monitor) PublicKey() ed25519.PublicKey {
 	return append(ed25519.PublicKey{}, m.pub...)
+}
+
+// BLSPublicKey returns the BLS tree-head key, or nil when not enabled.
+func (m *Monitor) BLSPublicKey() *bls.PublicKey {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.blsKey == nil {
+		return nil
+	}
+	return m.blsKey.PublicKey()
 }
 
 // Submit verifies and ingests a status envelope observed by some client.
 // It returns the Merkle log index of the accepted submission, and any
 // misbehavior proof the new observation completes.
 func (m *Monitor) Submit(env *audit.AttestedStatusEnvelope) (int, *audit.Misbehavior, error) {
-	if err := audit.VerifyStatusEnvelope(&m.params, env); err != nil {
-		// A wrong measurement is itself reportable; other verification
-		// failures are unattributable garbage and rejected.
-		if _, ok := err.(*audit.MeasurementError); ok {
-			proof := &audit.Misbehavior{
-				Kind:    audit.MisbehaviorWrongMeasurement,
-				Domain:  env.Resp.Domain,
-				StatusA: env,
-			}
-			m.record(env, proof)
-			idx := m.append(env)
-			return idx, proof, nil
-		}
-		return 0, nil, fmt.Errorf("monitor: rejecting submission: %w", err)
-	}
+	out := m.SubmitBatch([]*audit.AttestedStatusEnvelope{env})[0]
+	return out.LogIndex, out.Alert, out.Err
+}
 
+// BatchOutcome is the per-envelope result of SubmitBatch. LogIndex is -1
+// when the envelope was rejected (Err non-nil).
+type BatchOutcome struct {
+	LogIndex int
+	Alert    *audit.Misbehavior
+	Err      error
+}
+
+// SubmitBatch ingests a whole gossip frame at once: every envelope is
+// verified up front (the expensive quote/signature checks happen outside
+// the lock), then the accepted payloads are appended to the sharded log in
+// one batch under a single lock acquisition. Outcomes are positional.
+// Contradictions are detected against both earlier observations and
+// earlier envelopes of the same batch.
+func (m *Monitor) SubmitBatch(envs []*audit.AttestedStatusEnvelope) []BatchOutcome {
+	out := make([]BatchOutcome, len(envs))
+	type accepted struct {
+		pos   int
+		env   *audit.AttestedStatusEnvelope
+		proof *audit.Misbehavior // pre-attributed wrong-measurement proof
+	}
+	var acc []accepted
+	for i, env := range envs {
+		if env == nil {
+			out[i] = BatchOutcome{LogIndex: -1, Err: errors.New("monitor: rejecting submission: nil envelope")}
+			continue
+		}
+		if err := audit.VerifyStatusEnvelope(&m.params, env); err != nil {
+			// A wrong measurement is itself reportable; other verification
+			// failures are unattributable garbage and rejected.
+			if _, ok := err.(*audit.MeasurementError); ok {
+				acc = append(acc, accepted{pos: i, env: env, proof: &audit.Misbehavior{
+					Kind:    audit.MisbehaviorWrongMeasurement,
+					Domain:  env.Resp.Domain,
+					StatusA: env,
+				}})
+				continue
+			}
+			out[i] = BatchOutcome{LogIndex: -1, Err: fmt.Errorf("monitor: rejecting submission: %w", err)}
+			continue
+		}
+		acc = append(acc, accepted{pos: i, env: env})
+	}
+	if len(acc) == 0 {
+		return out
+	}
+	payloads := make([][]byte, len(acc))
+	for k, a := range acc {
+		payload, err := json.Marshal(a.env)
+		if err != nil {
+			panic("monitor: envelope must marshal: " + err.Error())
+		}
+		payloads[k] = payload
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	name := env.Resp.Domain
-	var proof *audit.Misbehavior
-	for i := range m.perDom[name] {
-		prev := &m.perDom[name][i].Envelope
-		if p := contradiction(prev, env, name); p != nil {
-			proof = p
-			m.alerts = append(m.alerts, *p)
-			break
+	first := m.log.AppendBatch(payloads)
+	for k, a := range acc {
+		idx := first + k
+		name := a.env.Resp.Domain
+		proof := a.proof
+		if proof == nil {
+			for i := range m.perDom[name] {
+				prev := &m.perDom[name][i].Envelope
+				if p := contradiction(prev, a.env, name); p != nil {
+					proof = p
+					break
+				}
+			}
 		}
+		if proof != nil {
+			m.alerts = append(m.alerts, *proof)
+		}
+		m.perDom[name] = append(m.perDom[name], Observation{Envelope: *a.env, LogIndex: idx})
+		out[a.pos] = BatchOutcome{LogIndex: idx, Alert: proof}
 	}
-	idx := m.appendLocked(env)
-	m.perDom[name] = append(m.perDom[name], Observation{Envelope: *env, LogIndex: idx})
-	return idx, proof, nil
+	return out
 }
 
 // contradiction decides whether two verified statuses from one domain
@@ -129,28 +223,6 @@ func contradiction(a, b *audit.AttestedStatusEnvelope, name string) *audit.Misbe
 	return nil
 }
 
-func (m *Monitor) record(env *audit.AttestedStatusEnvelope, proof *audit.Misbehavior) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.alerts = append(m.alerts, *proof)
-	m.perDom[env.Resp.Domain] = append(m.perDom[env.Resp.Domain],
-		Observation{Envelope: *env, LogIndex: m.log.Len()})
-}
-
-func (m *Monitor) append(env *audit.AttestedStatusEnvelope) int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.appendLocked(env)
-}
-
-func (m *Monitor) appendLocked(env *audit.AttestedStatusEnvelope) int {
-	payload, err := json.Marshal(env)
-	if err != nil {
-		panic("monitor: envelope must marshal: " + err.Error())
-	}
-	return m.log.Append(payload)
-}
-
 // Alerts returns all misbehavior proofs accumulated so far.
 func (m *Monitor) Alerts() []audit.Misbehavior {
 	m.mu.Lock()
@@ -158,23 +230,43 @@ func (m *Monitor) Alerts() []audit.Misbehavior {
 	return append([]audit.Misbehavior{}, m.alerts...)
 }
 
-// TreeHead returns the signed head of the monitor's public log.
+// TreeHead returns the ed25519-signed head of the monitor's public log:
+// (total size, super-root).
 func (m *Monitor) TreeHead() aolog.SignedHead {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return aolog.SignHead(m.signer, uint64(m.log.Len()), m.log.Root())
+	return aolog.SignHead(m.signer, uint64(m.log.Len()), m.log.SuperRoot())
+}
+
+// TreeHeadBLS returns a BLS-signed head over the same (size, super-root)
+// commitment, for auditors that batch-verify heads. EnableBLSHeads first.
+func (m *Monitor) TreeHeadBLS() (aolog.BLSSignedHead, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.blsKey == nil {
+		return aolog.BLSSignedHead{}, fmt.Errorf("monitor: BLS tree heads not enabled")
+	}
+	return aolog.SignHeadBLS(m.blsKey, uint64(m.log.Len()), m.log.SuperRoot()), nil
+}
+
+// NumShards reports the public log's stripe count (proof verifiers need
+// it only via the proofs themselves, which carry it).
+func (m *Monitor) NumShards() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.NumShards()
 }
 
 // ProveInclusion returns the payload at index plus its inclusion proof
-// against the current tree.
-func (m *Monitor) ProveInclusion(index int) ([]byte, *aolog.InclusionProof, error) {
+// against the current super-root.
+func (m *Monitor) ProveInclusion(index int) ([]byte, *aolog.ShardInclusionProof, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	payload, err := m.log.Entry(index)
 	if err != nil {
 		return nil, nil, err
 	}
-	proof, err := m.log.ProveInclusion(index, m.log.Len())
+	proof, err := m.log.ProveInclusion(index)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -183,10 +275,10 @@ func (m *Monitor) ProveInclusion(index int) ([]byte, *aolog.InclusionProof, erro
 
 // ProveConsistency proves the monitor's log grew append-only between two
 // sizes (what monitors of the monitor check).
-func (m *Monitor) ProveConsistency(oldSize int) (*aolog.ConsistencyProof, error) {
+func (m *Monitor) ProveConsistency(oldSize int) (*aolog.ShardConsistencyProof, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.log.ProveConsistency(oldSize, m.log.Len())
+	return m.log.ProveConsistency(oldSize)
 }
 
 // Observations returns the recorded observation count for a domain.

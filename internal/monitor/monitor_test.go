@@ -251,7 +251,7 @@ func TestMonitorPublicLogAuditable(t *testing.T) {
 	}
 	var root aolog.Digest
 	copy(root[:], head1.Head[:])
-	if !aolog.VerifyInclusion(payload, proof, root) {
+	if !aolog.VerifyShardInclusion(payload, proof, root) {
 		t.Fatal("inclusion proof failed")
 	}
 	// The logged payload decodes back to a verifiable envelope.
@@ -271,7 +271,132 @@ func TestMonitorPublicLogAuditable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !aolog.VerifyConsistency(head1.Head, head2.Head, cons) {
+	if !aolog.VerifyShardConsistency(head1.Head, head2.Head, cons) {
 		t.Fatal("monitor log consistency proof failed")
+	}
+}
+
+func TestMonitorSubmitBatch(t *testing.T) {
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	envs := []*audit.AttestedStatusEnvelope{
+		envelope(fw, "b0"), envelope(fw, "b1"), envelope(fw, "b2"),
+	}
+	// One unattributable-garbage envelope in the middle of the batch.
+	bad := envelope(fw, "b3")
+	bad.Resp.Status.Version++
+	envs = append(envs[:2], append([]*audit.AttestedStatusEnvelope{bad}, envs[2])...)
+	out := f.mon.SubmitBatch(envs)
+	if len(out) != 4 {
+		t.Fatalf("got %d outcomes", len(out))
+	}
+	wantIdx := []int{0, 1, -1, 2}
+	for i, o := range out {
+		if o.LogIndex != wantIdx[i] {
+			t.Fatalf("outcome %d index %d, want %d", i, o.LogIndex, wantIdx[i])
+		}
+		if (o.Err != nil) != (wantIdx[i] == -1) {
+			t.Fatalf("outcome %d error mismatch: %v", i, o.Err)
+		}
+		if o.Alert != nil {
+			t.Fatalf("honest batched submission %d flagged: %s", i, o.Alert.Kind)
+		}
+	}
+	if f.mon.Observations("d1") != 3 {
+		t.Fatal("batch observation count wrong")
+	}
+	// Batched and sequential ingestion agree with the audit log.
+	head := f.mon.TreeHead()
+	if head.Size != 3 {
+		t.Fatalf("tree head size %d, want 3", head.Size)
+	}
+	payload, proof, err := f.mon.ProveInclusion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aolog.VerifyShardInclusion(payload, proof, head.Head) {
+		t.Fatal("batched entry inclusion proof failed")
+	}
+}
+
+func TestMonitorBatchRejectsNilEnvelope(t *testing.T) {
+	// A remote submitbatch frame can carry JSON nulls; they must be
+	// rejected per entry, not crash the monitor.
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	out := f.mon.SubmitBatch([]*audit.AttestedStatusEnvelope{nil, envelope(fw, "ok")})
+	if out[0].Err == nil || out[0].LogIndex != -1 {
+		t.Fatalf("nil envelope not rejected: %+v", out[0])
+	}
+	if out[1].Err != nil || out[1].LogIndex != 0 {
+		t.Fatalf("honest neighbor affected: %+v", out[1])
+	}
+}
+
+func TestMonitorBatchDetectsIntraBatchContradiction(t *testing.T) {
+	f := newFixture(t)
+	fwA := f.newFramework(t, blsapp.ModuleBytes())
+	mB := blsapp.Module()
+	mB.Functions[0].Code = append(mB.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	fwB := f.newFramework(t, mB.Encode())
+	out := f.mon.SubmitBatch([]*audit.AttestedStatusEnvelope{
+		envelope(fwA, "clientA"),
+		envelope(fwB, "clientB"), // split view inside the same batch
+	})
+	if out[0].Alert != nil {
+		t.Fatal("first view flagged")
+	}
+	if out[1].Alert == nil || out[1].Alert.Kind != audit.MisbehaviorEquivocation {
+		t.Fatalf("intra-batch split view not detected: %+v", out[1].Alert)
+	}
+	if err := audit.VerifyMisbehavior(&f.params, out[1].Alert); err != nil {
+		t.Fatalf("intra-batch proof rejected: %v", err)
+	}
+}
+
+func TestMonitorBLSHeadsBatchAudited(t *testing.T) {
+	f := newFixture(t)
+	if _, err := f.mon.TreeHeadBLS(); err == nil {
+		t.Fatal("BLS head served without a key")
+	}
+	sk, _, err := bls.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.mon.EnableBLSHeads(sk)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	var heads []aolog.BLSSignedHead
+	for i := 0; i < 4; i++ {
+		if _, _, err := f.mon.Submit(envelope(fw, "h"+string(rune('0'+i)))); err != nil {
+			t.Fatal(err)
+		}
+		h, err := f.mon.TreeHeadBLS()
+		if err != nil {
+			t.Fatal(err)
+		}
+		heads = append(heads, h)
+	}
+	auditor := audit.NewClient(f.params)
+	defer auditor.Close()
+	if err := auditor.VerifyMonitorHeads(f.mon.BLSPublicKey(), heads); err != nil {
+		t.Fatalf("honest head batch rejected: %v", err)
+	}
+	// A head forged by a different key must sink the batch.
+	forger, _, err := bls.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := aolog.SignHeadBLS(forger, heads[2].Size, heads[2].Head)
+	tampered := append(append([]aolog.BLSSignedHead{}, heads[:2]...), forged, heads[3])
+	if err := auditor.VerifyMonitorHeads(f.mon.BLSPublicKey(), tampered); err == nil {
+		t.Fatal("batch with forged head accepted")
+	}
+	// Two different heads at the same size are equivocation evidence.
+	equiv := append([]aolog.BLSSignedHead{}, heads...)
+	other := heads[3]
+	other.Head[0] ^= 0xff
+	equiv = append(equiv, aolog.SignHeadBLS(sk, other.Size, other.Head))
+	if err := auditor.VerifyMonitorHeads(f.mon.BLSPublicKey(), equiv); err == nil {
+		t.Fatal("equivocating head sequence accepted")
 	}
 }

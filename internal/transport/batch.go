@@ -1,0 +1,113 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// Batched RPC: a built-in request kind whose body is a list of ordinary
+// sub-requests, dispatched in order, with a list of ordinary sub-responses
+// as the reply. Every Server accepts batches for all of its registered
+// handlers — daemons get batched append/verify RPCs for free — and one
+// batch costs one frame and one network round trip instead of N. Per-call
+// failures are reported per entry; a malformed batch envelope fails as a
+// whole, and batches do not nest.
+
+// BatchKind is the reserved request kind carrying a batch of sub-requests.
+const BatchKind = "_batch"
+
+// MaxBatchCalls caps the sub-requests per batch so one frame cannot queue
+// unbounded handler work.
+const MaxBatchCalls = 4096
+
+// BatchCall is one sub-request in a client-side batch.
+type BatchCall struct {
+	Kind string
+	In   any
+}
+
+// BatchResult is one sub-response. Err is nil on success; Decode unpacks
+// the body.
+type BatchResult struct {
+	Err  error
+	body json.RawMessage
+}
+
+// Decode unmarshals a successful result's body into out (nil to discard).
+func (r *BatchResult) Decode(out any) error {
+	if r.Err != nil {
+		return r.Err
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.Unmarshal(r.body, out); err != nil {
+		return fmt.Errorf("transport: decoding batch result: %w", err)
+	}
+	return nil
+}
+
+// dispatchBatch unpacks a batch envelope and runs each sub-request through
+// the ordinary dispatch path.
+func (s *Server) dispatchBatch(req *Request) *Response {
+	var subs []Request
+	if err := json.Unmarshal(req.Body, &subs); err != nil {
+		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("malformed batch body: %v", err)}
+	}
+	if len(subs) > MaxBatchCalls {
+		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("batch of %d exceeds limit %d", len(subs), MaxBatchCalls)}
+	}
+	resps := make([]Response, len(subs))
+	for i := range subs {
+		if subs[i].Kind == BatchKind || s.isNoBatch(subs[i].Kind) {
+			resps[i] = Response{ID: subs[i].ID, OK: false, Error: "batches do not nest"}
+			continue
+		}
+		resps[i] = *s.dispatch(&subs[i])
+	}
+	enc, err := json.Marshal(resps)
+	if err != nil {
+		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("encoding batch response: %v", err)}
+	}
+	return &Response{ID: req.ID, OK: true, Body: enc}
+}
+
+// CallBatch sends all calls in one frame and returns one result per call,
+// in order. The returned error covers envelope-level failures only;
+// inspect each BatchResult.Err for per-call outcomes.
+func (c *Client) CallBatch(calls []BatchCall) ([]BatchResult, error) {
+	if len(calls) == 0 {
+		return nil, errors.New("transport: empty batch")
+	}
+	if len(calls) > MaxBatchCalls {
+		return nil, fmt.Errorf("transport: batch of %d exceeds limit %d", len(calls), MaxBatchCalls)
+	}
+	subs := make([]Request, len(calls))
+	for i, call := range calls {
+		body, err := json.Marshal(call.In)
+		if err != nil {
+			return nil, fmt.Errorf("transport: encoding batch call %d: %w", i, err)
+		}
+		subs[i] = Request{ID: uint64(i + 1), Kind: call.Kind, Body: body}
+	}
+	var resps []Response
+	if err := c.Call(BatchKind, subs, &resps); err != nil {
+		return nil, err
+	}
+	if len(resps) != len(calls) {
+		return nil, fmt.Errorf("transport: batch returned %d results for %d calls", len(resps), len(calls))
+	}
+	results := make([]BatchResult, len(calls))
+	for i := range resps {
+		if resps[i].ID != uint64(i+1) {
+			return nil, errors.New("transport: batch response ID mismatch")
+		}
+		if !resps[i].OK {
+			results[i].Err = &ErrRemote{Msg: resps[i].Error}
+			continue
+		}
+		results[i].body = resps[i].Body
+	}
+	return results, nil
+}

@@ -1,0 +1,175 @@
+package transport
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func newBatchServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer()
+	srv.Handle("double", func(body json.RawMessage) (any, error) {
+		var n int
+		if err := json.Unmarshal(body, &n); err != nil {
+			return nil, err
+		}
+		return n * 2, nil
+	})
+	srv.Handle("fail", func(json.RawMessage) (any, error) {
+		return nil, errors.New("deliberate failure")
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return srv, c
+}
+
+func TestCallBatchRoundTrip(t *testing.T) {
+	_, c := newBatchServer(t)
+	calls := make([]BatchCall, 10)
+	for i := range calls {
+		calls[i] = BatchCall{Kind: "double", In: i}
+	}
+	results, err := c.CallBatch(calls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(calls) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		var n int
+		if err := r.Decode(&n); err != nil {
+			t.Fatalf("result %d: %v", i, err)
+		}
+		if n != i*2 {
+			t.Fatalf("result %d = %d, want %d", i, n, i*2)
+		}
+	}
+}
+
+func TestCallBatchPerCallErrors(t *testing.T) {
+	_, c := newBatchServer(t)
+	results, err := c.CallBatch([]BatchCall{
+		{Kind: "double", In: 7},
+		{Kind: "fail"},
+		{Kind: "nosuch"},
+		{Kind: "double", In: 9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := results[0].Decode(&n); err != nil || n != 14 {
+		t.Fatalf("first result: %d, %v", n, err)
+	}
+	if results[1].Err == nil || results[2].Err == nil {
+		t.Fatal("failing sub-calls did not surface errors")
+	}
+	if err := results[3].Decode(&n); err != nil || n != 18 {
+		t.Fatalf("last result survived neighbors' failures: %d, %v", n, err)
+	}
+}
+
+func TestBatchDoesNotNest(t *testing.T) {
+	_, c := newBatchServer(t)
+	results, err := c.CallBatch([]BatchCall{{Kind: BatchKind, In: []Request{}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[0].Err == nil {
+		t.Fatal("nested batch accepted")
+	}
+}
+
+func TestNoBatchKindsRefusedInsideBatch(t *testing.T) {
+	// Application-level batch kinds (HandleNoBatch) must be refused inside
+	// _batch frames — otherwise the per-frame work cap squares.
+	srv, c := newBatchServer(t)
+	srv.HandleNoBatch("appbatch", func(json.RawMessage) (any, error) {
+		return "ran", nil
+	})
+	// Directly: fine.
+	var out string
+	if err := c.Call("appbatch", struct{}{}, &out); err != nil || out != "ran" {
+		t.Fatalf("direct no-batch kind: %q, %v", out, err)
+	}
+	// Inside a _batch frame: refused, neighbors unaffected.
+	results, err := c.CallBatch([]BatchCall{
+		{Kind: "double", In: 4},
+		{Kind: "appbatch", In: struct{}{}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := results[0].Decode(&n); err != nil || n != 8 {
+		t.Fatalf("neighbor: %d, %v", n, err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("no-batch kind ran inside a _batch frame")
+	}
+}
+
+func TestBatchLimits(t *testing.T) {
+	_, c := newBatchServer(t)
+	if _, err := c.CallBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	big := make([]BatchCall, MaxBatchCalls+1)
+	for i := range big {
+		big[i] = BatchCall{Kind: "double", In: 1}
+	}
+	if _, err := c.CallBatch(big); err == nil {
+		t.Fatal("oversized batch accepted")
+	}
+}
+
+func TestBatchInterleavesWithPlainCalls(t *testing.T) {
+	_, c := newBatchServer(t)
+	for i := 0; i < 3; i++ {
+		var n int
+		if err := c.Call("double", 21, &n); err != nil || n != 42 {
+			t.Fatalf("plain call: %d, %v", n, err)
+		}
+		results, err := c.CallBatch([]BatchCall{{Kind: "double", In: i}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := results[0].Decode(&n); err != nil || n != i*2 {
+			t.Fatalf("batched call %d: %d, %v", i, n, err)
+		}
+	}
+}
+
+func TestBatchMalformedBody(t *testing.T) {
+	srv := NewServer()
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var out json.RawMessage
+	err = c.Call(BatchKind, "not an array", &out)
+	var remote *ErrRemote
+	if !errors.As(err, &remote) {
+		t.Fatalf("malformed batch body: got %v, want remote error", err)
+	}
+	if fmt.Sprint(remote) == "" {
+		t.Fatal("empty remote error")
+	}
+}

@@ -31,6 +31,7 @@ type Handler func(body json.RawMessage) (any, error)
 type Server struct {
 	mu       sync.RWMutex
 	handlers map[string]Handler
+	noBatch  map[string]bool
 	ln       net.Listener
 	wg       sync.WaitGroup
 	closed   chan struct{}
@@ -41,6 +42,7 @@ type Server struct {
 func NewServer() *Server {
 	return &Server{
 		handlers: make(map[string]Handler),
+		noBatch:  make(map[string]bool),
 		closed:   make(chan struct{}),
 		conns:    make(map[net.Conn]struct{}),
 	}
@@ -51,6 +53,23 @@ func (s *Server) Handle(kind string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[kind] = h
+}
+
+// HandleNoBatch registers a handler whose kind is refused inside _batch
+// frames. Use it for application-level batch kinds that carry their own
+// request lists (e.g. "invokebatch"): nesting those in a transport batch
+// would multiply the per-frame work cap by itself.
+func (s *Server) HandleNoBatch(kind string, h Handler) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handlers[kind] = h
+	s.noBatch[kind] = true
+}
+
+func (s *Server) isNoBatch(kind string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.noBatch[kind]
 }
 
 // Serve starts accepting connections on ln until Close. It returns
@@ -153,6 +172,9 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req *Request) *Response {
+	if req.Kind == BatchKind {
+		return s.dispatchBatch(req)
+	}
 	s.mu.RLock()
 	h, ok := s.handlers[req.Kind]
 	s.mu.RUnlock()
