@@ -1,0 +1,240 @@
+// Command auditord runs one witness in the gossip network: it pulls
+// BLS-signed tree heads (plus consistency proofs) from the monitors it
+// watches, advances a per-source cosigned frontier, exchanges frontiers
+// with peer witnesses, and serves the client "pollination" path. A forked
+// monitor — one that shows different logs to different witnesses — is
+// convicted within one gossip round by a portable equivocation proof any
+// third party can verify offline (gossip.VerifyEquivocationProof).
+//
+//	auditord -name w1 -listen 127.0.0.1:7171 \
+//	         -sources monitor=127.0.0.1:7070 \
+//	         -peers 127.0.0.1:7172,127.0.0.1:7173 \
+//	         -interval 5s
+//
+// Protocol (framed JSON, see internal/transport and internal/gossip):
+//
+//	gossip_heads {from, heads}  -> witness-to-witness frontier exchange
+//	cosign       {source, head, consistency?} -> countersign one head
+//	pollinate    {heads}        -> client path: submit seen heads, get the
+//	                               cosigned frontier + equivocation proofs
+//	witness_info {}             -> witness identity (name, cosigning key)
+//	pull         {}             -> fetch head+consistency from every source
+//	round        {}             -> pull, then gossip with every peer
+//	proofs       {}             -> all equivocation proofs held
+//
+// Source and peer keys are fetched at startup (trust-on-first-use for the
+// demo; a production deployment pins them in configuration).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/aolog"
+	"repro/internal/bls"
+	"repro/internal/gossip"
+	"repro/internal/transport"
+)
+
+// sourceConn is one watched monitor.
+type sourceConn struct {
+	name string
+	addr string
+	conn *transport.Client
+}
+
+type monitorInfo struct {
+	Name   string `json:"name"`
+	BLSKey []byte `json:"bls_key"`
+	Shards int    `json:"shards"`
+	Size   uint64 `json:"size"`
+}
+
+type pullResponse struct {
+	Heads  []gossip.GossipHead `json:"heads"`
+	Errors []string            `json:"errors,omitempty"`
+}
+
+type roundResponse struct {
+	gossip.RoundSummary
+	PullErrors []string `json:"pull_errors,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	var (
+		name     = flag.String("name", "witness", "this witness's name")
+		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
+		sources  = flag.String("sources", "", "comma-separated name=addr monitor list")
+		peers    = flag.String("peers", "", "comma-separated peer witness addresses")
+		interval = flag.Duration("interval", 0, "automatic pull+gossip period (0 = RPC-driven only)")
+	)
+	flag.Parse()
+	if *sources == "" {
+		log.Fatal("auditord: need at least one -sources name=addr entry")
+	}
+
+	key, _, err := bls.GenerateKey()
+	if err != nil {
+		log.Fatalf("auditord: keygen: %v", err)
+	}
+	w, err := gossip.NewWitness(gossip.Config{Name: *name, Key: key})
+	if err != nil {
+		log.Fatalf("auditord: %v", err)
+	}
+
+	// Connect to sources; fetch their tree-head keys (TOFU for the demo).
+	var srcs []*sourceConn
+	for _, entry := range strings.Split(*sources, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), "=", 2)
+		if len(parts) != 2 {
+			log.Fatalf("auditord: bad -sources entry %q (want name=addr)", entry)
+		}
+		sc := &sourceConn{name: parts[0], addr: parts[1]}
+		sc.conn, err = transport.Dial(sc.addr)
+		if err != nil {
+			log.Fatalf("auditord: dialing source %s: %v", sc.name, err)
+		}
+		var info monitorInfo
+		if err := sc.conn.Call("info", struct{}{}, &info); err != nil {
+			log.Fatalf("auditord: fetching %s identity: %v", sc.name, err)
+		}
+		pk := new(bls.PublicKey)
+		if err := pk.SetBytes(info.BLSKey); err != nil {
+			log.Fatalf("auditord: source %s BLS key: %v", sc.name, err)
+		}
+		if err := w.AddSource(gossip.Source{Name: sc.name, Key: pk}); err != nil {
+			log.Fatalf("auditord: %v", err)
+		}
+		srcs = append(srcs, sc)
+	}
+
+	// Connect to peers; accept their cosigning keys (TOFU for the demo).
+	var peerConns []*gossip.Peer
+	if *peers != "" {
+		for _, addr := range strings.Split(*peers, ",") {
+			p, err := gossip.DialPeer(strings.TrimSpace(addr))
+			if err != nil {
+				log.Fatalf("auditord: dialing peer %s: %v", addr, err)
+			}
+			info, err := p.Info()
+			if err != nil {
+				log.Fatalf("auditord: peer %s identity: %v", addr, err)
+			}
+			pk := new(bls.PublicKey)
+			if err := pk.SetBytes(info.PublicKey); err != nil {
+				log.Fatalf("auditord: peer %s key: %v", addr, err)
+			}
+			if err := w.AddWitness(pk); err != nil {
+				log.Fatalf("auditord: %v", err)
+			}
+			peerConns = append(peerConns, p)
+		}
+	}
+
+	// pull fetches every source, tolerating per-source failures: one dead
+	// monitor must not stop this witness from gossiping the frontiers
+	// and proofs it holds for the healthy ones.
+	pull := func() []string {
+		var errs []string
+		for _, sc := range srcs {
+			if err := pullSource(w, sc); err != nil {
+				log.Printf("auditord: %v", err)
+				errs = append(errs, err.Error())
+			}
+		}
+		return errs
+	}
+
+	srv := transport.NewServer()
+	w.Register(srv)
+	srv.Handle("pull", func(json.RawMessage) (any, error) {
+		errs := pull()
+		return pullResponse{Heads: w.FrontierHeads(), Errors: errs}, nil
+	})
+	srv.Handle("round", func(json.RawMessage) (any, error) {
+		errs := pull()
+		sum, err := w.Round(peerConns)
+		if err != nil {
+			return nil, err
+		}
+		return roundResponse{RoundSummary: *sum, PullErrors: errs}, nil
+	})
+	srv.Handle("proofs", func(json.RawMessage) (any, error) {
+		return w.Proofs(), nil
+	})
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatalf("auditord: listen: %v", err)
+	}
+	srv.Serve(ln)
+	defer srv.Close()
+	kb := w.PublicKey().Bytes()
+	fmt.Printf("auditord: witness %q on %s, watching %d sources, %d peers\n",
+		*name, ln.Addr(), len(srcs), len(peerConns))
+	fmt.Printf("auditord: cosigning key %x\n", kb[:])
+
+	if *interval > 0 {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		go func() {
+			for range ticker.C {
+				pull() // per-source failures already logged; keep gossiping
+				if sum, err := w.Round(peerConns); err != nil {
+					log.Printf("auditord: round: %v", err)
+				} else if sum.NewProofs > 0 {
+					log.Printf("auditord: ALERT: %d new equivocation proofs", sum.NewProofs)
+				}
+			}
+		}()
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("auditord: shutting down")
+}
+
+// pullSource fetches the source's current BLS head, plus a consistency
+// proof from the witness's cosigned frontier when one exists, and ingests
+// both. Head and proof are fetched in separate RPCs, so a live log can
+// grow between them; retry until the proof ends at the fetched head.
+func pullSource(w *gossip.Witness, sc *sourceConn) error {
+	for attempt := 0; attempt < 3; attempt++ {
+		var head aolog.BLSSignedHead
+		if err := sc.conn.Call("headbls", struct{}{}, &head); err != nil {
+			return fmt.Errorf("auditord: head from %s: %w", sc.name, err)
+		}
+		var cons *aolog.ShardConsistencyProof
+		if front, ok := w.Frontier(sc.name); ok && head.Size > front.Size {
+			cons = new(aolog.ShardConsistencyProof)
+			req := struct {
+				OldSize int `json:"old_size"`
+			}{OldSize: int(front.Size)}
+			if err := sc.conn.Call("consistency", req, cons); err != nil {
+				return fmt.Errorf("auditord: consistency from %s: %w", sc.name, err)
+			}
+			if cons.NewSize != int(head.Size) {
+				continue // the log grew between the two RPCs
+			}
+		}
+		res := w.Ingest(sc.name, head, cons)
+		if res.Err != nil {
+			return fmt.Errorf("auditord: ingesting %s head: %w", sc.name, res.Err)
+		}
+		if res.Proof != nil {
+			log.Printf("auditord: ALERT: source %s convicted of equivocation", sc.name)
+		}
+		return nil
+	}
+	return fmt.Errorf("auditord: source %s log kept moving between head and proof fetches", sc.name)
+}

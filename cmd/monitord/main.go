@@ -17,6 +17,17 @@
 //	alerts      {}                -> all accumulated misbehavior proofs
 //	poll        {}                -> monitor fetches statuses itself from
 //	                                 every domain and ingests them
+//	info        {}                -> monitor identity: name, tree-head keys,
+//	                                 shard count, current log size
+//	consistency {old_size}        -> sharded consistency proof from old_size
+//	                                 to the current log (what witnesses use
+//	                                 to advance their cosigned frontier)
+//	gossipreport {proof}          -> slashing path: verify a portable
+//	                                 gossip.EquivocationProof offline and
+//	                                 record it (alert + public log entry);
+//	                                 only proofs accusing this monitor's
+//	                                 key or a -slashable pinned key are
+//	                                 accepted, replays are idempotent
 //
 // The server also accepts transport-level "_batch" frames bundling any of
 // the above, so gossiping clients pay one round trip per flush. The public
@@ -27,6 +38,7 @@ package main
 import (
 	"crypto/ed25519"
 	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -34,11 +46,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 
 	"repro/internal/audit"
 	"repro/internal/bls"
 	"repro/internal/deployfile"
+	"repro/internal/gossip"
 	"repro/internal/monitor"
 	"repro/internal/transport"
 )
@@ -49,6 +63,8 @@ func main() {
 		paramsPath = flag.String("params", "deployment.json", "deployment parameters file")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
 		shards     = flag.Int("shards", monitor.DefaultShards, "stripe count of the public Merkle log")
+		name       = flag.String("name", "monitor", "this monitor's name in gossip deployments")
+		slashable  = flag.String("slashable", "", "comma-separated hex BLS keys of peer monitors whose equivocation proofs this monitor records")
 	)
 	flag.Parse()
 
@@ -73,6 +89,26 @@ func main() {
 		log.Fatalf("monitord: BLS keygen: %v", err)
 	}
 	mon.EnableBLSHeads(blsKey)
+	// Slashing reports may accuse this monitor itself plus any pinned
+	// peer monitor keys; proofs for other keys are self-signed spam.
+	if err := mon.RegisterLogSource(blsKey.PublicKey()); err != nil {
+		log.Fatalf("monitord: %v", err)
+	}
+	if *slashable != "" {
+		for _, h := range strings.Split(*slashable, ",") {
+			kb, err := hex.DecodeString(strings.TrimSpace(h))
+			if err != nil {
+				log.Fatalf("monitord: -slashable key %q: %v", h, err)
+			}
+			pk := new(bls.PublicKey)
+			if err := pk.SetBytes(kb); err != nil {
+				log.Fatalf("monitord: -slashable key %q: %v", h, err)
+			}
+			if err := mon.RegisterLogSource(pk); err != nil {
+				log.Fatalf("monitord: %v", err)
+			}
+		}
+	}
 	auditClient := audit.NewClient(params)
 	defer auditClient.Close()
 
@@ -118,6 +154,37 @@ func main() {
 	srv.Handle("alerts", func(json.RawMessage) (any, error) {
 		return mon.Alerts(), nil
 	})
+	srv.Handle("info", func(json.RawMessage) (any, error) {
+		blsPub := mon.BLSPublicKey().Bytes()
+		head := mon.TreeHead()
+		return infoResponse{
+			Name:      *name,
+			PublicKey: mon.PublicKey(),
+			BLSKey:    blsPub[:],
+			Shards:    mon.NumShards(),
+			Size:      head.Size,
+		}, nil
+	})
+	srv.Handle("consistency", func(body json.RawMessage) (any, error) {
+		var req struct {
+			OldSize int `json:"old_size"`
+		}
+		if err := json.Unmarshal(body, &req); err != nil {
+			return nil, err
+		}
+		return mon.ProveConsistency(req.OldSize)
+	})
+	srv.Handle("gossipreport", func(body json.RawMessage) (any, error) {
+		var proof gossip.EquivocationProof
+		if err := json.Unmarshal(body, &proof); err != nil {
+			return nil, err
+		}
+		idx, err := mon.RecordLogEquivocation(&proof)
+		if err != nil {
+			return nil, err
+		}
+		return submitResponse{LogIndex: idx}, nil
+	})
 	srv.Handle("poll", func(json.RawMessage) (any, error) {
 		var out []submitResponse
 		for _, d := range params.Domains {
@@ -156,4 +223,12 @@ type submitResponse struct {
 	LogIndex int                `json:"log_index"`
 	Alert    *audit.Misbehavior `json:"alert,omitempty"`
 	Error    string             `json:"error,omitempty"`
+}
+
+type infoResponse struct {
+	Name      string `json:"name"`
+	PublicKey []byte `json:"public_key"`
+	BLSKey    []byte `json:"bls_key"`
+	Shards    int    `json:"shards"`
+	Size      uint64 `json:"size"`
 }

@@ -2,6 +2,7 @@ package aolog
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 )
 
@@ -240,6 +241,35 @@ type ShardConsistencyProof struct {
 	OldRoots         []Digest            // shard roots at OldSize
 	NewRoots         []Digest            // shard roots at NewSize
 	Shards           []*ConsistencyProof // nil for shards that did not grow
+}
+
+// wellFormed checks the proof's geometry fields without touching hashes.
+func (p *ShardConsistencyProof) wellFormed() bool {
+	return p != nil && p.NumShards >= 1 &&
+		p.OldSize >= 0 && p.NewSize >= p.OldSize &&
+		len(p.OldRoots) == p.NumShards && len(p.NewRoots) == p.NumShards &&
+		len(p.Shards) == p.NumShards
+}
+
+// OldSuperRoot reconstructs the old super-root this proof's per-shard
+// roots commit to. Together with VerifyShardConsistency this makes a
+// consistency proof usable as *evidence*: a proof that is valid against
+// its own old super-root but whose OldSuperRoot differs from a head the
+// log operator signed for the same size convicts the operator of forking
+// (see gossip.EquivocationProof).
+func (p *ShardConsistencyProof) OldSuperRoot() (Digest, error) {
+	if !p.wellFormed() {
+		return Digest{}, errors.New("aolog: malformed sharded consistency proof")
+	}
+	return superRootOf(p.OldSize, p.NumShards, p.OldRoots), nil
+}
+
+// NewSuperRoot reconstructs the new super-root the proof commits to.
+func (p *ShardConsistencyProof) NewSuperRoot() (Digest, error) {
+	if !p.wellFormed() {
+		return Digest{}, errors.New("aolog: malformed sharded consistency proof")
+	}
+	return superRootOf(p.NewSize, p.NumShards, p.NewRoots), nil
 }
 
 // ProveConsistency builds a consistency proof from total size n0 to the

@@ -172,9 +172,10 @@ func (r *Report) CurrentDigest() string {
 type Client struct {
 	params Params
 
-	mu    sync.Mutex
-	conns map[string]*transport.Client
-	last  map[string]AttestedStatusEnvelope
+	mu     sync.Mutex
+	conns  map[string]*transport.Client
+	wconns map[string]*transport.Client // witness connections, by address
+	last   map[string]AttestedStatusEnvelope
 }
 
 // NewClient creates an audit client for a deployment.
@@ -182,6 +183,7 @@ func NewClient(params Params) *Client {
 	return &Client{
 		params: params,
 		conns:  make(map[string]*transport.Client),
+		wconns: make(map[string]*transport.Client),
 		last:   make(map[string]AttestedStatusEnvelope),
 	}
 }
@@ -197,6 +199,10 @@ func (c *Client) Close() {
 		conn.Close()
 	}
 	c.conns = make(map[string]*transport.Client)
+	for _, conn := range c.wconns {
+		conn.Close()
+	}
+	c.wconns = make(map[string]*transport.Client)
 }
 
 func (c *Client) conn(info *DomainInfo) (*transport.Client, error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/aolog"
+	"repro/internal/gossip"
 )
 
 // MisbehaviorKind enumerates the publicly verifiable proof types.
@@ -31,6 +32,11 @@ const (
 	// MisbehaviorHistoryDivergence: two domains attest to diverging update
 	// histories.
 	MisbehaviorHistoryDivergence MisbehaviorKind = "history-divergence"
+	// MisbehaviorLogEquivocation: a log operator (a monitor) signed two
+	// incompatible tree heads — caught by the gossip/witness layer. The
+	// proof is self-contained (it binds the operator's BLS key), so this
+	// kind needs no deployment Params to verify.
+	MisbehaviorLogEquivocation MisbehaviorKind = "log-equivocation"
 )
 
 // Misbehavior is a self-contained, publicly verifiable proof: given only
@@ -44,6 +50,8 @@ type Misbehavior struct {
 	StatusB  *AttestedStatusEnvelope  `json:"status_b,omitempty"`
 	HistoryA *AttestedHistoryEnvelope `json:"history_a,omitempty"`
 	HistoryB *AttestedHistoryEnvelope `json:"history_b,omitempty"`
+	// Gossip carries the conviction for MisbehaviorLogEquivocation.
+	Gossip *gossip.EquivocationProof `json:"gossip,omitempty"`
 }
 
 // VerifyMisbehavior checks a misbehavior proof with only public
@@ -185,6 +193,12 @@ func VerifyMisbehavior(p *Params, m *Misbehavior) error {
 			return errors.New("audit: histories agree; no divergence")
 		}
 		return nil
+
+	case MisbehaviorLogEquivocation:
+		if m.Gossip == nil {
+			return errors.New("audit: log-equivocation proof missing gossip evidence")
+		}
+		return gossip.VerifyEquivocationProof(m.Gossip)
 	}
 	return fmt.Errorf("audit: unknown misbehavior kind %q", m.Kind)
 }

@@ -1,0 +1,166 @@
+package gossip
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+
+	"repro/internal/aolog"
+	"repro/internal/bls"
+)
+
+// cosignPrefix domain-separates witness cosignatures from every other BLS
+// message in the system (head signatures, application signatures, PoPs).
+var cosignPrefix = []byte("gossip-cosign-v1")
+
+// CosignMessage is the canonical byte string a witness cosignature covers:
+// the source's compressed public key, the log size, and the root. Binding
+// the source key (not a mutable name) makes a cosignature unreplayable
+// across sources.
+func CosignMessage(sourcePK []byte, size uint64, head aolog.Digest) []byte {
+	buf := make([]byte, 0, len(cosignPrefix)+len(sourcePK)+8+len(head))
+	buf = append(buf, cosignPrefix...)
+	buf = append(buf, sourcePK...)
+	var sz [8]byte
+	binary.BigEndian.PutUint64(sz[:], size)
+	buf = append(buf, sz[:]...)
+	buf = append(buf, head[:]...)
+	return buf
+}
+
+// Cosignature is one witness's countersignature over a source head whose
+// consistency the witness verified.
+type Cosignature struct {
+	Witness []byte `json:"witness"` // 96-byte compressed BLS key of the witness
+	Sig     []byte `json:"sig"`     // 48-byte compressed G1 signature
+}
+
+// CosignedHead is a source head together with accumulated witness
+// cosignatures — what a client fetches instead of replaying the log.
+type CosignedHead struct {
+	Source   string              `json:"source,omitempty"`
+	SourcePK []byte              `json:"source_pk"`
+	Head     aolog.BLSSignedHead `json:"head"`
+	Cosigs   []Cosignature       `json:"cosigs,omitempty"`
+}
+
+// VerifyCosignedHead accepts a cosigned head only when (a) the embedded
+// source key matches the caller's pinned key, (b) at least quorum distinct
+// witnesses from the accepted set produced valid cosignatures, and (c)
+// the source's head signature verifies. The honest path costs ONE
+// bls.VerifyBatch multi-pairing covering the source signature and every
+// counted cosignature; cosignatures from keys outside the accepted set
+// (or duplicated, or malformed) are dropped before the quorum count, and
+// if the combined batch fails — e.g. one forged cosignature naming a
+// pinned key — the check falls back to per-signature attribution and
+// still accepts when a quorum of VALID cosignatures remains, so a single
+// poisoned cosignature cannot veto acceptance.
+func VerifyCosignedHead(sourcePK *bls.PublicKey, witnesses []*bls.PublicKey, quorum int, ch *CosignedHead) error {
+	if ch == nil {
+		return errors.New("gossip: nil cosigned head")
+	}
+	if sourcePK == nil {
+		return errors.New("gossip: nil source key")
+	}
+	if quorum < 1 {
+		return errors.New("gossip: quorum must be at least 1")
+	}
+	spkb := sourcePK.Bytes()
+	if !bytes.Equal(ch.SourcePK, spkb[:]) {
+		return errors.New("gossip: cosigned head names a different source key")
+	}
+	accepted := make(map[string]*bls.PublicKey, len(witnesses))
+	for _, wpk := range witnesses {
+		if wpk == nil {
+			continue
+		}
+		kb := wpk.Bytes()
+		accepted[hex.EncodeToString(kb[:])] = wpk
+	}
+
+	headMsg := aolog.HeadMessage(ch.Head.Size, ch.Head.Head)
+	var srcSig bls.Signature
+	if err := srcSig.SetBytes(ch.Head.Signature); err != nil {
+		return errors.New("gossip: malformed source signature")
+	}
+	cosignMsg := CosignMessage(ch.SourcePK, ch.Head.Size, ch.Head.Head)
+
+	// Group every decodable candidate signature by accepted witness key:
+	// a relay may present several signatures for one key (e.g. a forgery
+	// alongside the genuine one), and dropping all but the first would
+	// let the forgery displace the genuine cosignature. Candidates per
+	// key are deduped and capped to bound the attribution fallback.
+	const maxCandidatesPerKey = 4
+	type keyCands struct {
+		pk   *bls.PublicKey
+		sigs []*bls.Signature
+		seen map[string]bool
+	}
+	byKey := make(map[string]*keyCands)
+	var order []string
+	for i := range ch.Cosigs {
+		co := &ch.Cosigs[i]
+		key := hex.EncodeToString(co.Witness)
+		wpk, ok := accepted[key]
+		if !ok {
+			continue
+		}
+		var csig bls.Signature
+		if err := csig.SetBytes(co.Sig); err != nil {
+			continue // undecodable cosignature: drop, don't veto
+		}
+		kc := byKey[key]
+		if kc == nil {
+			kc = &keyCands{pk: wpk, seen: make(map[string]bool)}
+			byKey[key] = kc
+			order = append(order, key)
+		}
+		if kc.seen[string(co.Sig)] || len(kc.sigs) >= maxCandidatesPerKey {
+			continue
+		}
+		kc.seen[string(co.Sig)] = true
+		cs := csig
+		kc.sigs = append(kc.sigs, &cs)
+	}
+	if len(byKey) < quorum {
+		return fmt.Errorf("gossip: %d of %d required witness cosignatures", len(byKey), quorum)
+	}
+
+	// Fast path: one candidate per key plus the source signature in a
+	// single multi-pairing. Honest inputs never take the fallback.
+	pks := []*bls.PublicKey{sourcePK}
+	msgs := [][]byte{headMsg}
+	sigs := []*bls.Signature{&srcSig}
+	for _, key := range order {
+		kc := byKey[key]
+		pks = append(pks, kc.pk)
+		msgs = append(msgs, cosignMsg)
+		sigs = append(sigs, kc.sigs[0])
+	}
+	if bls.VerifyBatch(pks, msgs, sigs) {
+		return nil
+	}
+	// Attribution fallback: something in the batch is forged. The source
+	// signature is non-negotiable; each key counts toward the quorum if
+	// ANY of its candidates verifies, so poisoned cosignatures can
+	// neither satisfy nor veto the quorum.
+	if !bls.Verify(sourcePK, headMsg, &srcSig) {
+		return errors.New("gossip: source head signature invalid")
+	}
+	valid := 0
+	for _, key := range order {
+		kc := byKey[key]
+		for _, sig := range kc.sigs {
+			if bls.Verify(kc.pk, cosignMsg, sig) {
+				valid++
+				break
+			}
+		}
+		if valid >= quorum {
+			return nil
+		}
+	}
+	return fmt.Errorf("gossip: only %d of %d required cosignatures verify", valid, quorum)
+}

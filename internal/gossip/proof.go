@@ -1,0 +1,112 @@
+package gossip
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/aolog"
+	"repro/internal/bls"
+)
+
+// EquivocationProof is a portable, self-contained conviction of a log
+// source (a monitor) for showing different logs to different observers.
+// It carries the accused key, so any third party verifies it offline with
+// VerifyEquivocationProof — no network access, no trust in the accuser —
+// and then only needs deployment context to map the key to an operator.
+//
+// Two forms, distinguished by the Consistency field:
+//
+//   - Same-size fork (Consistency nil): A and B are validly signed heads
+//     with A.Size == B.Size and different roots. An honest append-only
+//     log has exactly one root per size.
+//
+//   - Prefix contradiction (Consistency set): A.Size < B.Size, and
+//     Consistency is a sharded consistency proof, VALID against its own
+//     old super-root x, showing the log with root B.Head at size B.Size
+//     has prefix root x at size A.Size — while the source also signed
+//     (A.Size, A.Head) with A.Head != x. Since a Merkle root at size n
+//     binds the prefix root at every m < n (two valid consistency proofs
+//     to the same new root with different old roots imply a hash
+//     collision), the source committed to two different logs.
+type EquivocationProof struct {
+	// Source is the accuser's label for the operator (informative only;
+	// the conviction binds to SourcePK).
+	Source string `json:"source,omitempty"`
+	// SourcePK is the accused operator's compressed BLS tree-head key.
+	SourcePK []byte `json:"source_pk"`
+	// A and B are the conflicting signed heads, A.Size <= B.Size.
+	A aolog.BLSSignedHead `json:"a"`
+	B aolog.BLSSignedHead `json:"b"`
+	// Consistency is present for the prefix-contradiction form.
+	Consistency *aolog.ShardConsistencyProof `json:"consistency,omitempty"`
+}
+
+// Fingerprint returns a canonical identifier for deduplicating proofs:
+// the informative Source label is excluded and the same-size-fork form is
+// normalized under swapping A and B (verification of that form is
+// symmetric), so the same conviction relayed under a different label or
+// with its heads exchanged maps to one fingerprint. Callers use it to
+// skip re-verifying (and re-recording) proofs they already hold.
+func (p *EquivocationProof) Fingerprint() string {
+	cp := *p
+	cp.Source = ""
+	if cp.A.Size > cp.B.Size ||
+		(cp.A.Size == cp.B.Size && bytes.Compare(cp.A.Head[:], cp.B.Head[:]) > 0) {
+		cp.A, cp.B = cp.B, cp.A
+	}
+	b, _ := json.Marshal(&cp)
+	return string(b)
+}
+
+// VerifyEquivocationProof checks an equivocation proof offline. A nil
+// return means the holder of SourcePK demonstrably signed two
+// incompatible log states.
+func VerifyEquivocationProof(p *EquivocationProof) error {
+	if p == nil {
+		return errors.New("gossip: nil equivocation proof")
+	}
+	var pk bls.PublicKey
+	if err := pk.SetBytes(p.SourcePK); err != nil {
+		return fmt.Errorf("gossip: bad source key: %w", err)
+	}
+	a, b := p.A, p.B
+	if !aolog.VerifyHeadBLS(&pk, &a) {
+		return errors.New("gossip: first head signature invalid")
+	}
+	if !aolog.VerifyHeadBLS(&pk, &b) {
+		return errors.New("gossip: second head signature invalid")
+	}
+	switch {
+	case a.Size == b.Size:
+		if a.Head == b.Head {
+			return errors.New("gossip: heads agree; no equivocation")
+		}
+		if p.Consistency != nil {
+			return errors.New("gossip: same-size proof must not carry a consistency proof")
+		}
+		return nil
+	case a.Size < b.Size:
+		cons := p.Consistency
+		if cons == nil {
+			return errors.New("gossip: growing heads need a contradicting consistency proof")
+		}
+		if cons.OldSize != int(a.Size) || cons.NewSize != int(b.Size) {
+			return errors.New("gossip: consistency proof covers the wrong sizes")
+		}
+		x, err := cons.OldSuperRoot()
+		if err != nil {
+			return fmt.Errorf("gossip: consistency proof malformed: %w", err)
+		}
+		if x == a.Head {
+			return errors.New("gossip: consistency proof agrees with the earlier head; no equivocation")
+		}
+		if !aolog.VerifyShardConsistency(x, b.Head, cons) {
+			return errors.New("gossip: consistency proof does not verify against its own roots")
+		}
+		return nil
+	default:
+		return errors.New("gossip: heads out of order (A must not be larger than B)")
+	}
+}

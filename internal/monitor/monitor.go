@@ -20,11 +20,19 @@
 // sign the super-root. With a BLS head key configured (EnableBLSHeads),
 // the monitor also serves BLS-signed heads that auditors verify in
 // batches (audit.STHBatch, bls.VerifyBatch).
+//
+// The monitor is itself watched: the witness network (internal/gossip,
+// cmd/auditord) cross-checks its BLS heads between observers and convicts
+// a forked monitor with a portable equivocation proof. The monitor closes
+// the loop as the slashing ledger — RecordLogEquivocation re-verifies a
+// gossip conviction offline and appends it to this monitor's own public
+// log.
 package monitor
 
 import (
 	"bytes"
 	"crypto/ed25519"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -33,6 +41,7 @@ import (
 	"repro/internal/aolog"
 	"repro/internal/audit"
 	"repro/internal/bls"
+	"repro/internal/gossip"
 )
 
 // DefaultShards is the stripe count of the monitor's public log.
@@ -50,11 +59,13 @@ type Monitor struct {
 	signer ed25519.PrivateKey
 	pub    ed25519.PublicKey
 
-	mu     sync.Mutex
-	log    *aolog.ShardedLog
-	blsKey *bls.SecretKey
-	perDom map[string][]Observation
-	alerts []audit.Misbehavior
+	mu         sync.Mutex
+	log        *aolog.ShardedLog
+	blsKey     *bls.SecretKey
+	perDom     map[string][]Observation
+	alerts     []audit.Misbehavior
+	slashed    map[string]int  // equivocation-proof fingerprint -> log index
+	logSources map[string]bool // hex BLS keys slashing reports may accuse
 }
 
 // New creates a monitor for a deployment with DefaultShards log stripes.
@@ -75,12 +86,30 @@ func NewSharded(params audit.Params, signer ed25519.PrivateKey, shards int) (*Mo
 		return nil, err
 	}
 	return &Monitor{
-		params: params,
-		signer: signer,
-		pub:    signer.Public().(ed25519.PublicKey),
-		log:    log,
-		perDom: make(map[string][]Observation),
+		params:     params,
+		signer:     signer,
+		pub:        signer.Public().(ed25519.PublicKey),
+		log:        log,
+		perDom:     make(map[string][]Observation),
+		slashed:    make(map[string]int),
+		logSources: make(map[string]bool),
 	}, nil
+}
+
+// RegisterLogSource pins a BLS tree-head key as a known log operator
+// that slashing reports (RecordLogEquivocation) may accuse. Without
+// this gate, anyone could mint a throwaway keypair, self-sign two
+// conflicting heads, and grow the ledger with "convictions" of keys
+// nobody deployed.
+func (m *Monitor) RegisterLogSource(pk *bls.PublicKey) error {
+	if pk == nil {
+		return errors.New("monitor: nil log-source key")
+	}
+	kb := pk.Bytes()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.logSources[hex.EncodeToString(kb[:])] = true
+	return nil
 }
 
 // EnableBLSHeads equips the monitor with a BLS tree-head key so auditors
@@ -221,6 +250,53 @@ func contradiction(a, b *audit.AttestedStatusEnvelope, name string) *audit.Misbe
 		}
 	}
 	return nil
+}
+
+// RecordLogEquivocation is the slashing path for gossip-convicted log
+// operators: the portable proof is verified offline, recorded as an
+// audit.Misbehavior alert, and appended to the monitor's own public log —
+// so the conviction is itself transparency-logged and any client that
+// checks this monitor learns about the forked operator. Returns the log
+// index of the recorded proof.
+func (m *Monitor) RecordLogEquivocation(p *gossip.EquivocationProof) (int, error) {
+	if p == nil {
+		return -1, errors.New("monitor: nil equivocation report")
+	}
+	// Replays of a conviction already on the ledger are answered with the
+	// original log index — before the expensive verification, so looping
+	// one valid proof cannot grow the log or the alert list. Proofs
+	// accusing unregistered keys are rejected outright (self-signed spam).
+	fp := p.Fingerprint()
+	m.mu.Lock()
+	if idx, ok := m.slashed[fp]; ok {
+		m.mu.Unlock()
+		return idx, nil
+	}
+	known := m.logSources[hex.EncodeToString(p.SourcePK)]
+	m.mu.Unlock()
+	if !known {
+		return -1, errors.New("monitor: proof accuses an unregistered log-source key")
+	}
+	if err := gossip.VerifyEquivocationProof(p); err != nil {
+		return -1, fmt.Errorf("monitor: rejecting equivocation report: %w", err)
+	}
+	payload, err := json.Marshal(p)
+	if err != nil {
+		return -1, fmt.Errorf("monitor: encoding equivocation report: %w", err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if idx, ok := m.slashed[fp]; ok { // raced with another reporter
+		return idx, nil
+	}
+	idx := m.log.Append(payload)
+	m.slashed[fp] = idx
+	m.alerts = append(m.alerts, audit.Misbehavior{
+		Kind:   audit.MisbehaviorLogEquivocation,
+		Domain: p.Source,
+		Gossip: p,
+	})
+	return idx, nil
 }
 
 // Alerts returns all misbehavior proofs accumulated so far.
