@@ -75,6 +75,7 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
 		sources  = flag.String("sources", "", "comma-separated name=addr monitor list")
 		peers    = flag.String("peers", "", "comma-separated peer witness addresses")
+		dataDir  = flag.String("data", "", "durable storage directory; empty runs in-memory (cosigning key and evidence are lost on exit)")
 		interval = flag.Duration("interval", 0, "automatic pull+gossip period (0 = RPC-driven only)")
 	)
 	flag.Parse()
@@ -82,13 +83,27 @@ func main() {
 		log.Fatal("auditord: need at least one -sources name=addr entry")
 	}
 
-	key, _, err := bls.GenerateKey()
-	if err != nil {
-		log.Fatalf("auditord: keygen: %v", err)
-	}
-	w, err := gossip.NewWitness(gossip.Config{Name: *name, Key: key})
-	if err != nil {
-		log.Fatalf("auditord: %v", err)
+	var w *gossip.Witness
+	if *dataDir != "" {
+		// Persistent witness: stable cosigning identity, and the evidence
+		// base (recorded heads, cosignatures, equivocation proofs)
+		// survives restarts — frontiers resume instead of re-TOFUing.
+		witness, rec, err := gossip.OpenWitness(*dataDir, gossip.Config{Name: *name})
+		if err != nil {
+			log.Fatalf("auditord: %v", err)
+		}
+		w = witness
+		fmt.Printf("auditord: recovered %d heads, %d cosignatures, %d equivocation proofs (%d events awaiting source registration)\n",
+			rec.Heads, rec.Cosigs, rec.Proofs, rec.Pending)
+	} else {
+		key, _, err := bls.GenerateKey()
+		if err != nil {
+			log.Fatalf("auditord: keygen: %v", err)
+		}
+		w, err = gossip.NewWitness(gossip.Config{Name: *name, Key: key})
+		if err != nil {
+			log.Fatalf("auditord: %v", err)
+		}
 	}
 
 	// Connect to sources; fetch their tree-head keys (TOFU for the demo).
@@ -99,6 +114,7 @@ func main() {
 			log.Fatalf("auditord: bad -sources entry %q (want name=addr)", entry)
 		}
 		sc := &sourceConn{name: parts[0], addr: parts[1]}
+		var err error
 		sc.conn, err = transport.Dial(sc.addr)
 		if err != nil {
 			log.Fatalf("auditord: dialing source %s: %v", sc.name, err)
@@ -177,7 +193,6 @@ func main() {
 		log.Fatalf("auditord: listen: %v", err)
 	}
 	srv.Serve(ln)
-	defer srv.Close()
 	kb := w.PublicKey().Bytes()
 	fmt.Printf("auditord: witness %q on %s, watching %d sources, %d peers\n",
 		*name, ln.Addr(), len(srcs), len(peerConns))
@@ -198,10 +213,18 @@ func main() {
 		}()
 	}
 
+	// Clean shutdown: stop serving, then flush the evidence journal.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("auditord: shutting down")
+	got := <-sig
+	fmt.Printf("auditord: %s, shutting down\n", got)
+	srv.Close()
+	if err := w.Close(); err != nil {
+		log.Fatalf("auditord: flushing journal: %v", err)
+	}
+	if *dataDir != "" {
+		fmt.Printf("auditord: journal flushed to %s\n", *dataDir)
+	}
 }
 
 // pullSource fetches the source's current BLS head, plus a consistency

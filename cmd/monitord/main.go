@@ -48,6 +48,7 @@ import (
 	"os/signal"
 	"strings"
 	"syscall"
+	"time"
 
 	"repro/internal/audit"
 	"repro/internal/bls"
@@ -64,6 +65,7 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
 		shards     = flag.Int("shards", monitor.DefaultShards, "stripe count of the public Merkle log")
 		name       = flag.String("name", "monitor", "this monitor's name in gossip deployments")
+		dataDir    = flag.String("data", "", "durable storage directory; empty runs in-memory (log and keys are lost on exit)")
 		slashable  = flag.String("slashable", "", "comma-separated hex BLS keys of peer monitors whose equivocation proofs this monitor records")
 	)
 	flag.Parse()
@@ -76,22 +78,39 @@ func main() {
 	if err != nil {
 		log.Fatalf("monitord: %v", err)
 	}
-	_, priv, err := ed25519.GenerateKey(rand.Reader)
-	if err != nil {
-		log.Fatalf("monitord: keygen: %v", err)
+	var mon *monitor.Monitor
+	if *dataDir != "" {
+		// Persistent monitor: stable tree-head identity, crash-safe log.
+		mon, err = monitor.Open(*dataDir, params, &monitor.OpenOptions{Shards: *shards})
+		if err != nil {
+			log.Fatalf("monitord: %v", err)
+		}
+		if info, ok := mon.RecoveryInfo(); ok {
+			head := "no signed head on disk"
+			if info.HasHead {
+				head = fmt.Sprintf("super-root verified against last signed head (size %d)", info.HeadSize)
+			}
+			fmt.Printf("monitord: recovered %d log leaves (%d from segments, %d from WAL, snapshot at %d) in %s; %s\n",
+				info.Leaves, info.FromSegments, info.FromWAL, info.SnapshotSize, info.Elapsed.Round(time.Millisecond), head)
+		}
+	} else {
+		_, priv, err := ed25519.GenerateKey(rand.Reader)
+		if err != nil {
+			log.Fatalf("monitord: keygen: %v", err)
+		}
+		mon, err = monitor.NewSharded(params, priv, *shards)
+		if err != nil {
+			log.Fatalf("monitord: %v", err)
+		}
+		blsKey, _, err := bls.GenerateKey()
+		if err != nil {
+			log.Fatalf("monitord: BLS keygen: %v", err)
+		}
+		mon.EnableBLSHeads(blsKey)
 	}
-	mon, err := monitor.NewSharded(params, priv, *shards)
-	if err != nil {
-		log.Fatalf("monitord: %v", err)
-	}
-	blsKey, _, err := bls.GenerateKey()
-	if err != nil {
-		log.Fatalf("monitord: BLS keygen: %v", err)
-	}
-	mon.EnableBLSHeads(blsKey)
 	// Slashing reports may accuse this monitor itself plus any pinned
 	// peer monitor keys; proofs for other keys are self-signed spam.
-	if err := mon.RegisterLogSource(blsKey.PublicKey()); err != nil {
+	if err := mon.RegisterLogSource(mon.BLSPublicKey()); err != nil {
 		log.Fatalf("monitord: %v", err)
 	}
 	if *slashable != "" {
@@ -206,17 +225,25 @@ func main() {
 		log.Fatalf("monitord: listen: %v", err)
 	}
 	srv.Serve(ln)
-	defer srv.Close()
 	fmt.Printf("monitord: watching %d domains, serving on %s (%d log shards)\n",
 		len(params.Domains), ln.Addr(), *shards)
 	fmt.Printf("monitord: tree-head key %x\n", mon.PublicKey())
 	blsPub := mon.BLSPublicKey().Bytes()
 	fmt.Printf("monitord: BLS tree-head key %x\n", blsPub[:])
 
+	// Clean shutdown: stop serving, then flush the store (final
+	// snapshot, WAL checkpoint, segment close) before exiting.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
-	fmt.Println("monitord: shutting down")
+	got := <-sig
+	fmt.Printf("monitord: %s, shutting down\n", got)
+	srv.Close()
+	if err := mon.Close(); err != nil {
+		log.Fatalf("monitord: flushing store: %v", err)
+	}
+	if *dataDir != "" {
+		fmt.Printf("monitord: store flushed to %s\n", *dataDir)
+	}
 }
 
 type submitResponse struct {

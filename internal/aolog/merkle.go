@@ -38,6 +38,22 @@ func (m *MerkleLog) Append(payload []byte) int {
 	return m.Len() - 1
 }
 
+// appendOwned appends a payload the caller owns (no defensive copy)
+// whose leaf digest is already known. Recovery paths use it to rebuild
+// a log from storage without rehashing payloads; d must equal
+// leafHash(payload) or every proof the log serves is garbage, so only
+// digests that were derived from these same payloads (and are
+// integrity-checked on disk) may be passed.
+func (m *MerkleLog) appendOwned(payload []byte, d Digest) {
+	m.raw = append(m.raw, payload)
+	m.push(0, d)
+}
+
+// leafDigest returns the cached leaf hash at index i (i < Len).
+func (m *MerkleLog) leafDigest(i int) Digest {
+	return m.levels[0][i]
+}
+
 // AppendBatch appends payloads in order and returns the index of the first.
 func (m *MerkleLog) AppendBatch(payloads [][]byte) int {
 	first := m.Len()

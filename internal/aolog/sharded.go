@@ -35,6 +35,48 @@ func NewShardedLog(k int) (*ShardedLog, error) {
 	return s, nil
 }
 
+// OpenShardedLog rebuilds a sharded log from leaves recovered from
+// storage, in global order (internal/store hands them over in exactly
+// this form). digests, when non-nil, carries the cached leaf hashes of
+// a prefix of the leaves (from a storage snapshot); those leaves skip
+// rehashing and the remainder is hashed normally. The leaf slices are
+// taken over without copying — the caller must not mutate them.
+func OpenShardedLog(k int, leaves [][]byte, digests []Digest) (*ShardedLog, error) {
+	s, err := NewShardedLog(k)
+	if err != nil {
+		return nil, err
+	}
+	if len(digests) > len(leaves) {
+		return nil, fmt.Errorf("aolog: %d cached digests for %d leaves", len(digests), len(leaves))
+	}
+	for g, p := range leaves {
+		var d Digest
+		if g < len(digests) {
+			d = digests[g]
+		} else {
+			d = leafHash(p)
+		}
+		s.shards[g%k].appendOwned(p, d)
+		s.n++
+	}
+	return s, nil
+}
+
+// LeafDigests returns the cached leaf hashes of the first n entries in
+// global order — what a storage snapshot persists so reopening the log
+// skips rehashing every payload.
+func (s *ShardedLog) LeafDigests(n int) ([]Digest, error) {
+	if n < 0 || n > s.n {
+		return nil, fmt.Errorf("aolog: sharded size %d out of range", n)
+	}
+	k := len(s.shards)
+	out := make([]Digest, n)
+	for g := 0; g < n; g++ {
+		out[g] = s.shards[g%k].leafDigest(g / k)
+	}
+	return out, nil
+}
+
 // NumShards returns K.
 func (s *ShardedLog) NumShards() int { return len(s.shards) }
 

@@ -104,12 +104,17 @@ func (e *MeasurementError) Error() string {
 }
 
 // VerifyHistoryEnvelope checks the authenticity of a history response.
+// The binding commits to the response's From offset, so a signed suffix
+// cannot be re-presented as a full history (or vice versa).
 func VerifyHistoryEnvelope(p *Params, env *AttestedHistoryEnvelope) error {
 	info, err := p.domainInfo(env.Resp.Domain)
 	if err != nil {
 		return err
 	}
-	binding := domain.HistoryBinding(env.Resp.Records, env.Nonce)
+	if env.Resp.From < 0 {
+		return fmt.Errorf("audit: domain %s history has negative offset", info.Name)
+	}
+	binding := domain.HistoryBindingFrom(env.Resp.From, env.Resp.Records, env.Nonce)
 	if info.HasTEE {
 		if env.Resp.Quote == nil {
 			return fmt.Errorf("audit: domain %s history has no quote", info.Name)
@@ -166,9 +171,23 @@ func (r *Report) CurrentDigest() string {
 	return r.Domains[0].Status.Resp.Status.CurrentDigest
 }
 
+// historyCache is the client's memory of one domain's last fully
+// verified history: the chain length and head it checked, plus the raw
+// records. The next audit fetches only records[Len:] and verifies the
+// suffix extends the cached head to the newly attested one
+// (aolog.VerifyExtension) — O(delta) transfer and hashing instead of
+// O(history) per audit.
+type historyCache struct {
+	len     int
+	head    aolog.Digest
+	records [][]byte
+}
+
 // Client audits a deployment. It remembers the last attested status per
 // domain across audits so it can detect equivocation (a domain signing
-// two different heads for the same log length) and rollbacks.
+// two different heads for the same log length) and rollbacks, and
+// caches each domain's verified history so repeat audits fetch only the
+// delta plus proof material.
 type Client struct {
 	params Params
 
@@ -176,6 +195,7 @@ type Client struct {
 	conns  map[string]*transport.Client
 	wconns map[string]*transport.Client // witness connections, by address
 	last   map[string]AttestedStatusEnvelope
+	hist   map[string]*historyCache
 }
 
 // NewClient creates an audit client for a deployment.
@@ -185,6 +205,7 @@ func NewClient(params Params) *Client {
 		conns:  make(map[string]*transport.Client),
 		wconns: make(map[string]*transport.Client),
 		last:   make(map[string]AttestedStatusEnvelope),
+		hist:   make(map[string]*historyCache),
 	}
 }
 
@@ -252,8 +273,16 @@ func (c *Client) FetchStatus(name string) (*AttestedStatusEnvelope, error) {
 	return env, nil
 }
 
-// FetchHistory retrieves and authenticates one domain's history.
+// FetchHistory retrieves and authenticates one domain's full history.
 func (c *Client) FetchHistory(name string) (*AttestedHistoryEnvelope, error) {
+	return c.FetchHistoryFrom(name, 0)
+}
+
+// FetchHistoryFrom retrieves and authenticates one domain's history
+// records from index `from` on. The envelope's signature covers only
+// the returned suffix; its place in the chain is established by the
+// caller (see auditHistory).
+func (c *Client) FetchHistoryFrom(name string, from int) (*AttestedHistoryEnvelope, error) {
 	info, err := c.params.domainInfo(name)
 	if err != nil {
 		return nil, err
@@ -267,7 +296,7 @@ func (c *Client) FetchHistory(name string) (*AttestedHistoryEnvelope, error) {
 		return nil, err
 	}
 	var resp domain.HistoryResponse
-	if err := conn.Call("history", domain.HistoryRequest{Nonce: nonce}, &resp); err != nil {
+	if err := conn.Call("history", domain.HistoryRequest{Nonce: nonce, From: from}, &resp); err != nil {
 		return nil, fmt.Errorf("audit: history from %s: %w", name, err)
 	}
 	env := &AttestedHistoryEnvelope{Nonce: nonce, Resp: resp}
@@ -275,6 +304,76 @@ func (c *Client) FetchHistory(name string) (*AttestedHistoryEnvelope, error) {
 		return env, err
 	}
 	return env, nil
+}
+
+// CachedHistoryLen reports how many history records the client has
+// verified and cached for a domain (0 = no cache).
+func (c *Client) CachedHistoryLen(name string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if hc := c.hist[name]; hc != nil {
+		return hc.len
+	}
+	return 0
+}
+
+// auditHistory obtains the domain's verified record list for this
+// audit. With a cache and an attested status at least as long, it
+// fetches only the suffix and verifies the extension; any mismatch
+// (wrong suffix length, extension that does not reach the attested
+// head, or a domain that cannot serve deltas) falls back to the full
+// fetch-and-rehash path, so a lying domain gains nothing — it only
+// forfeits the optimization. Returns the envelope to record in the
+// report, the complete raw record list, and whether the full list
+// chains to the attested head.
+func (c *Client) auditHistory(name string, st *AttestedStatusEnvelope) (*AttestedHistoryEnvelope, [][]byte, bool, error) {
+	status := st.Resp.Status
+	var attested aolog.Digest
+	copy(attested[:], status.LogHead)
+
+	c.mu.Lock()
+	cached := c.hist[name]
+	c.mu.Unlock()
+	if cached != nil && status.LogLen >= cached.len {
+		env, err := c.FetchHistoryFrom(name, cached.len)
+		switch {
+		case err == nil && env.Resp.From == cached.len &&
+			len(env.Resp.Records) == status.LogLen-cached.len &&
+			aolog.VerifyExtension(cached.head, cached.len, env.Resp.Records, attested):
+			records := make([][]byte, 0, status.LogLen)
+			records = append(records, cached.records...)
+			records = append(records, env.Resp.Records...)
+			c.mu.Lock()
+			c.hist[name] = &historyCache{len: status.LogLen, head: attested, records: records}
+			c.mu.Unlock()
+			return env, records, true, nil
+		case err == nil:
+			// The domain ANSWERED but the suffix does not extend what we
+			// verified before — suspicious. Drop the cache and re-audit
+			// the whole history.
+			c.mu.Lock()
+			delete(c.hist, name)
+			c.mu.Unlock()
+		default:
+			// Transport failure: nothing suspicious happened, so the
+			// verified cache stays for the next audit; this one falls
+			// through to the full fetch (which reports its own error if
+			// the domain is really unreachable).
+		}
+	}
+
+	env, err := c.FetchHistory(name)
+	if err != nil {
+		return nil, nil, false, err
+	}
+	records := env.Resp.Records
+	chainOK := len(records) == status.LogLen && aolog.VerifyChain(records, attested)
+	if chainOK {
+		c.mu.Lock()
+		c.hist[name] = &historyCache{len: status.LogLen, head: attested, records: records}
+		c.mu.Unlock()
+	}
+	return env, records, chainOK, nil
 }
 
 // Audit performs the full audit protocol against every domain.
@@ -335,17 +434,15 @@ func (c *Client) Audit() (*Report, error) {
 		c.last[info.Name] = *stEnv
 		c.mu.Unlock()
 
-		histEnv, err := c.FetchHistory(info.Name)
+		histEnv, records, chainOK, err := c.auditHistory(info.Name, stEnv)
 		if err != nil {
 			return nil, err
 		}
 		da.History = *histEnv
 
-		// The attested history must hash-chain to the attested head.
-		var head aolog.Digest
-		copy(head[:], stEnv.Resp.Status.LogHead)
-		if len(histEnv.Resp.Records) != stEnv.Resp.Status.LogLen ||
-			!aolog.VerifyChain(histEnv.Resp.Records, head) {
+		// The attested history must hash-chain to the attested head
+		// (via the cached-prefix extension or a full re-hash).
+		if !chainOK {
 			report.Proofs = append(report.Proofs, Misbehavior{
 				Kind:     MisbehaviorBadHistory,
 				Domain:   info.Name,
@@ -357,7 +454,7 @@ func (c *Client) Audit() (*Report, error) {
 			report.Consistent = false
 		}
 
-		for _, raw := range histEnv.Resp.Records {
+		for _, raw := range records {
 			rec, err := framework.DecodeRecord(raw)
 			if err != nil {
 				report.Findings = append(report.Findings,
@@ -397,19 +494,53 @@ func (c *Client) Audit() (*Report, error) {
 			report.Consistent = false
 		}
 		if !historiesAgree(a.Records, b.Records) {
-			report.Proofs = append(report.Proofs, Misbehavior{
-				Kind:     MisbehaviorHistoryDivergence,
-				Domain:   a.Info.Name,
-				DomainB:  b.Info.Name,
-				HistoryA: &a.History,
-				HistoryB: &b.History,
-			})
+			// A cached-delta audit holds suffix envelopes, which cannot
+			// serve as divergence evidence (VerifyMisbehavior requires
+			// full histories); refetch complete signed histories for the
+			// proof. A refetch failure still flags the finding — only the
+			// portable proof is dropped.
+			if ha, hb, err := c.fullHistoryPair(&a.History, &b.History, a.Info.Name, b.Info.Name); err == nil {
+				report.Proofs = append(report.Proofs, Misbehavior{
+					Kind:     MisbehaviorHistoryDivergence,
+					Domain:   a.Info.Name,
+					DomainB:  b.Info.Name,
+					HistoryA: ha,
+					HistoryB: hb,
+				})
+			}
 			report.Findings = append(report.Findings,
 				fmt.Sprintf("domains %s and %s have diverging update histories", a.Info.Name, b.Info.Name))
 			report.Consistent = false
 		}
 	}
 	return report, nil
+}
+
+// fullHistoryPair upgrades audit-time history envelopes to full-history
+// envelopes suitable for a divergence proof, refetching any that only
+// cover a suffix. The refetched pair must STILL diverge: a domain that
+// equivocates per-request could hand the refetch agreeing histories,
+// and a proof built from those would self-reject in VerifyMisbehavior —
+// report.Proofs must only carry convictions a third party will accept.
+func (c *Client) fullHistoryPair(ha, hb *AttestedHistoryEnvelope, nameA, nameB string) (*AttestedHistoryEnvelope, *AttestedHistoryEnvelope, error) {
+	if ha.Resp.From != 0 {
+		full, err := c.FetchHistory(nameA)
+		if err != nil {
+			return nil, nil, err
+		}
+		ha = full
+	}
+	if hb.Resp.From != 0 {
+		full, err := c.FetchHistory(nameB)
+		if err != nil {
+			return nil, nil, err
+		}
+		hb = full
+	}
+	if rawHistoriesEqual(ha.Resp.Records, hb.Resp.Records) {
+		return nil, nil, errors.New("audit: refetched histories agree; divergence not provable")
+	}
+	return ha, hb, nil
 }
 
 // historiesAgree compares (version, digest) sequences.

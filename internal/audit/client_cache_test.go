@@ -1,0 +1,208 @@
+package audit
+
+import (
+	"testing"
+
+	"repro/internal/aolog"
+	"repro/internal/sandbox"
+)
+
+// push installs version v of a trivially-different module on every
+// domain, growing each history by one record.
+func (td *testDeployment) push(t *testing.T, v uint64) {
+	t.Helper()
+	m := sandbox.MustAssemble(echoAppSrc)
+	for i := uint64(2); i <= v; i++ {
+		m.Functions[0].Code = append(m.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	}
+	mb := m.Encode()
+	sig := td.dev.SignUpdate(v, mb)
+	for _, d := range td.domains {
+		if err := d.Install(v, mb, sig); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestFetchHistoryFromServesSuffix(t *testing.T) {
+	td := newTestDeployment(t)
+	td.push(t, 2)
+	td.push(t, 3)
+	c := NewClient(td.params)
+	defer c.Close()
+
+	full, err := c.FetchHistory("domain-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Resp.Records) != 3 {
+		t.Fatalf("full history has %d records, want 3", len(full.Resp.Records))
+	}
+	suffix, err := c.FetchHistoryFrom("domain-1", 2)
+	if err != nil {
+		t.Fatal(err) // VerifyHistoryEnvelope ran inside: suffix binding holds
+	}
+	if suffix.Resp.From != 2 || len(suffix.Resp.Records) != 1 {
+		t.Fatalf("suffix = from %d with %d records, want from 2 with 1", suffix.Resp.From, len(suffix.Resp.Records))
+	}
+	if string(suffix.Resp.Records[0]) != string(full.Resp.Records[2]) {
+		t.Fatal("suffix record differs from full history")
+	}
+	if _, err := c.FetchHistoryFrom("domain-1", 99); err == nil {
+		t.Fatal("out-of-range From accepted")
+	}
+}
+
+func TestAuditUsesHistoryCacheForDeltas(t *testing.T) {
+	td := newTestDeployment(t)
+	c := NewClient(td.params)
+	defer c.Close()
+
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Consistent {
+		t.Fatalf("audit 1: %v", report.Findings)
+	}
+	for _, d := range td.domains {
+		if n := c.CachedHistoryLen(d.Name()); n != 1 {
+			t.Fatalf("cache for %s = %d after first audit, want 1", d.Name(), n)
+		}
+	}
+
+	// Grow every history; the second audit fetches only the delta but
+	// must still verify the full chain (via the cached head extension)
+	// and report full records.
+	td.push(t, 2)
+	td.push(t, 3)
+	report, err = c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Consistent {
+		t.Fatalf("audit 2: %v", report.Findings)
+	}
+	for _, da := range report.Domains {
+		if len(da.Records) != 3 {
+			t.Fatalf("domain %s report has %d records, want 3", da.Info.Name, len(da.Records))
+		}
+		// The wire envelope carried only the suffix.
+		if da.History.Resp.From != 1 || len(da.History.Resp.Records) != 2 {
+			t.Fatalf("domain %s fetched from %d with %d records, want delta from 1 with 2",
+				da.Info.Name, da.History.Resp.From, len(da.History.Resp.Records))
+		}
+	}
+	for _, d := range td.domains {
+		if n := c.CachedHistoryLen(d.Name()); n != 3 {
+			t.Fatalf("cache for %s = %d after second audit, want 3", d.Name(), n)
+		}
+	}
+
+	// Steady state: no growth means a zero-record delta.
+	report, err = c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Consistent {
+		t.Fatalf("audit 3: %v", report.Findings)
+	}
+	for _, da := range report.Domains {
+		if len(da.History.Resp.Records) != 0 || len(da.Records) != 3 {
+			t.Fatalf("domain %s steady-state audit fetched %d records (report %d)",
+				da.Info.Name, len(da.History.Resp.Records), len(da.Records))
+		}
+	}
+}
+
+func TestAuditFallsBackWhenCacheContradicted(t *testing.T) {
+	// A poisoned cache (wrong head for the cached length) must not fail
+	// the audit or poison the report: the extension check fails, the
+	// client falls back to a full fetch, re-verifies, and repairs the
+	// cache.
+	td := newTestDeployment(t)
+	c := NewClient(td.params)
+	defer c.Close()
+	if _, err := c.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	td.push(t, 2)
+	c.mu.Lock()
+	for _, hc := range c.hist {
+		hc.head = aolog.Digest{0xde, 0xad}
+	}
+	c.mu.Unlock()
+
+	report, err := c.Audit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !report.Consistent {
+		t.Fatalf("fallback audit flagged honest deployment: %v", report.Findings)
+	}
+	for _, da := range report.Domains {
+		if len(da.Records) != 2 || da.History.Resp.From != 0 {
+			t.Fatalf("domain %s did not fall back to a full fetch (from %d, %d records)",
+				da.Info.Name, da.History.Resp.From, len(da.Records))
+		}
+	}
+	for _, d := range td.domains {
+		if n := c.CachedHistoryLen(d.Name()); n != 2 {
+			t.Fatalf("cache for %s not repaired: %d", d.Name(), n)
+		}
+	}
+}
+
+func TestSuffixEnvelopeCannotForgeMisbehaviorProofs(t *testing.T) {
+	// The delta-history RPC must not hand attackers conviction material:
+	// a validly signed suffix response paired with an honest status must
+	// NOT verify as a bad-history proof, and two suffixes at different
+	// offsets must not verify as history divergence. Defense is layered:
+	// the binding commits to From (so a suffix cannot impersonate a full
+	// history), and the proof verifiers additionally demand From == 0.
+	td := newTestDeployment(t)
+	td.push(t, 2)
+	c := NewClient(td.params)
+	defer c.Close()
+
+	status, err := c.FetchStatus("domain-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suffix, err := c.FetchHistoryFrom("domain-1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	forged := &Misbehavior{
+		Kind:     MisbehaviorBadHistory,
+		Domain:   "domain-1",
+		StatusA:  status,
+		HistoryA: suffix,
+	}
+	if err := VerifyMisbehavior(&td.params, forged); err == nil {
+		t.Fatal("suffix envelope accepted as a bad-history conviction of an honest domain")
+	}
+	// Even if the attacker rewrites From to 0, the signature no longer
+	// binds (the suffix binding is domain-separated from the full one).
+	tampered := *suffix
+	tampered.Resp.From = 0
+	forged.HistoryA = &tampered
+	if err := VerifyMisbehavior(&td.params, forged); err == nil {
+		t.Fatal("From-stripped suffix envelope accepted as a conviction")
+	}
+
+	suffixB, err := c.FetchHistoryFrom("domain-2", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divergence := &Misbehavior{
+		Kind:     MisbehaviorHistoryDivergence,
+		Domain:   "domain-1",
+		DomainB:  "domain-2",
+		HistoryA: suffix,
+		HistoryB: suffixB,
+	}
+	if err := VerifyMisbehavior(&td.params, divergence); err == nil {
+		t.Fatal("offset suffixes accepted as a history-divergence conviction")
+	}
+}

@@ -146,6 +146,13 @@ func VerifyMisbehavior(p *Params, m *Misbehavior) error {
 		if err := VerifyStatusEnvelope(p, m.StatusA); err != nil {
 			return fmt.Errorf("audit: status: %w", err)
 		}
+		// Only a FULL history can convict: a suffix response legitimately
+		// holds fewer records than the attested log length, so accepting
+		// one here would let anyone "convict" an honest domain by asking
+		// for a delta.
+		if m.HistoryA.Resp.From != 0 {
+			return errors.New("audit: bad-history proof needs a full history, not a suffix")
+		}
 		if err := VerifyHistoryEnvelope(p, m.HistoryA); err != nil {
 			return fmt.Errorf("audit: history: %w", err)
 		}
@@ -182,6 +189,11 @@ func VerifyMisbehavior(p *Params, m *Misbehavior) error {
 		}
 		if m.HistoryA.Resp.Domain != m.Domain || m.HistoryB.Resp.Domain != m.DomainB {
 			return errors.New("audit: histories do not match the named domains")
+		}
+		// Suffixes at arbitrary offsets are not comparable: divergence is
+		// only demonstrated by two complete histories.
+		if m.HistoryA.Resp.From != 0 || m.HistoryB.Resp.From != 0 {
+			return errors.New("audit: history-divergence proof needs full histories, not suffixes")
 		}
 		if err := VerifyHistoryEnvelope(p, m.HistoryA); err != nil {
 			return fmt.Errorf("audit: first history: %w", err)

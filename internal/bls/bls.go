@@ -70,6 +70,22 @@ func SecretKeyFromScalar(s *ff.Fr) (*SecretKey, error) {
 // Scalar returns a copy of the underlying scalar.
 func (sk *SecretKey) Scalar() ff.Fr { return sk.s }
 
+// Bytes returns the canonical 32-byte encoding of the secret key — the
+// format persistent deployments write to key files.
+func (sk *SecretKey) Bytes() []byte {
+	b := sk.s.Bytes()
+	return b[:]
+}
+
+// SecretKeyFromBytes parses the encoding produced by Bytes.
+func SecretKeyFromBytes(in []byte) (*SecretKey, error) {
+	var s ff.Fr
+	if err := s.SetBytes(in); err != nil {
+		return nil, fmt.Errorf("bls: secret key bytes: %w", err)
+	}
+	return SecretKeyFromScalar(&s)
+}
+
 // PublicKey derives the public key sk * G2.
 func (sk *SecretKey) PublicKey() *PublicKey {
 	return &PublicKey{p: bls12381.G2ScalarBaseMult(&sk.s)}

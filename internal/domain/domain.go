@@ -50,15 +50,23 @@ type StatusResponse struct {
 }
 
 // HistoryRequest carries a client audit nonce binding the history reply.
+// From asks for only records[From:] — the delta path for auditors that
+// already verified a prefix (audit.Client caches its last verified
+// (length, head) per domain and checks the suffix with
+// aolog.VerifyExtension instead of re-fetching and re-hashing the full
+// history every audit).
 type HistoryRequest struct {
 	Nonce []byte `json:"nonce"`
+	From  int    `json:"from,omitempty"`
 }
 
-// HistoryResponse returns the full update-record history plus an
-// authentication of (records, nonce): an attestation-key signature for TEE
-// domains, a host-key signature for domain 0.
+// HistoryResponse returns the update-record history from index From
+// (0 = full history) plus an authentication of (records, nonce): an
+// attestation-key signature for TEE domains, a host-key signature for
+// domain 0.
 type HistoryResponse struct {
 	Domain  string     `json:"domain"`
+	From    int        `json:"from,omitempty"`
 	Records [][]byte   `json:"records"`
 	Quote   *tee.Quote `json:"quote,omitempty"`
 	AttSig  []byte     `json:"att_sig,omitempty"`
@@ -101,10 +109,41 @@ type UpdateRequest struct {
 // HistoryContext is the attestation-signature context for history replies.
 const HistoryContext = "domain-history-v1"
 
-// HistoryBinding hashes (records, nonce) into the signed/attested value.
+// HistoryBinding hashes (records, nonce) into the signed/attested value
+// for a full-history response (From == 0).
 func HistoryBinding(records [][]byte, nonce []byte) []byte {
 	h := sha256.New()
 	h.Write([]byte("domain-history-binding-v1"))
+	var lenBuf [4]byte
+	for _, r := range records {
+		lenBuf[0] = byte(len(r) >> 24)
+		lenBuf[1] = byte(len(r) >> 16)
+		lenBuf[2] = byte(len(r) >> 8)
+		lenBuf[3] = byte(len(r))
+		h.Write(lenBuf[:])
+		h.Write(r)
+	}
+	h.Write(nonce)
+	return h.Sum(nil)
+}
+
+// HistoryBindingFrom is the signed/attested value for a history
+// response starting at `from`. From == 0 keeps the v1 full-history
+// binding; a suffix binds its offset under a distinct domain-separation
+// tag, so a signed suffix can NEVER be re-presented as (or confused
+// with) a signed full history — misbehavior-proof verifiers rely on
+// the two being unforgeable into each other.
+func HistoryBindingFrom(from int, records [][]byte, nonce []byte) []byte {
+	if from == 0 {
+		return HistoryBinding(records, nonce)
+	}
+	h := sha256.New()
+	h.Write([]byte("domain-history-suffix-binding-v1"))
+	var fromBuf [8]byte
+	for i := 0; i < 8; i++ {
+		fromBuf[i] = byte(uint64(from) >> (56 - 8*i))
+	}
+	h.Write(fromBuf[:])
 	var lenBuf [4]byte
 	for _, r := range records {
 		lenBuf[0] = byte(len(r) >> 24)
@@ -336,7 +375,7 @@ func (d *Domain) registerHandlers() {
 		if err := json.Unmarshal(body, &req); err != nil {
 			return nil, err
 		}
-		return d.historyResponse(req.Nonce), nil
+		return d.historyResponse(req.Nonce, req.From)
 	})
 	d.enclaveServer.Handle("invoke", func(body json.RawMessage) (any, error) {
 		var req InvokeRequest
@@ -425,20 +464,28 @@ func (d *Domain) statusResponse(nonce []byte) *StatusResponse {
 	return out
 }
 
-func (d *Domain) historyResponse(nonce []byte) *HistoryResponse {
+func (d *Domain) historyResponse(nonce []byte, from int) (*HistoryResponse, error) {
 	records := d.fw.History()
-	binding := HistoryBinding(records, nonce)
-	out := &HistoryResponse{Domain: d.name, Records: records}
+	if from < 0 || from > len(records) {
+		return nil, fmt.Errorf("domain %s: history from %d out of range (length %d)", d.name, from, len(records))
+	}
+	records = records[from:]
+	// The binding commits to the offset (HistoryBindingFrom); the
+	// suffix's place in the chain is established by the client, which
+	// extends its previously verified head through the suffix to the
+	// attested current head.
+	binding := HistoryBindingFrom(from, records, nonce)
+	out := &HistoryResponse{Domain: d.name, From: from, Records: records}
 	if d.hasTEE {
 		var rd [64]byte
 		copy(rd[:32], binding)
 		out.Quote = d.enclave.GenerateQuote(rd)
 		out.AttSig = d.enclave.SignWithAttestationKey(HistoryContext, binding)
-		return out
+		return out, nil
 	}
 	out.HostKey = d.hostPub
 	out.HostSig = ed25519.Sign(d.hostKey, binding)
-	return out
+	return out, nil
 }
 
 // Name returns the domain's name.

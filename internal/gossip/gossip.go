@@ -37,6 +37,7 @@ import (
 
 	"repro/internal/aolog"
 	"repro/internal/bls"
+	"repro/internal/store"
 )
 
 // Source identifies one log operator (in our deployment, a monitor) by
@@ -93,6 +94,12 @@ type Witness struct {
 	witnesses   map[string]*bls.PublicKey // accepted cosigners by key hex
 	proofs      []EquivocationProof
 	proofKeys   map[string]bool // dedupe
+
+	// Persistence (nil for in-memory witnesses; see OpenWitness).
+	journal    *store.Journal
+	journalErr error
+	replaying  bool
+	pendingEv  map[string][]pendingEvent // replayed events awaiting their source
 }
 
 // NewWitness creates a witness from a config. The config's own key is
@@ -164,6 +171,9 @@ func (w *Witness) AddSource(s Source) error {
 	}
 	w.sources[s.Name] = st
 	w.sourcesByPK[keyHex] = st
+	// A recovered journal may hold evidence for this source from before
+	// the restart; it applies the moment the source is reintroduced.
+	w.applyPendingLocked(keyHex, st)
 	return nil
 }
 
@@ -175,7 +185,16 @@ func (w *Witness) AddWitness(pk *bls.PublicKey) error {
 	kb := pk.Bytes()
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	w.witnesses[hex.EncodeToString(kb[:])] = pk
+	key := hex.EncodeToString(kb[:])
+	if _, ok := w.witnesses[key]; !ok {
+		w.witnesses[key] = pk
+		if w.journal != nil && w.journalErr == nil {
+			if err := w.journal.Append(evWitness, kb[:]); err != nil {
+				w.journalErr = err
+			}
+			w.syncJournalLocked()
+		}
+	}
 	return nil
 }
 
@@ -357,6 +376,8 @@ func (w *Witness) IngestBatch(ghs []GossipHead) []IngestResult {
 			}
 		}
 	}
+	// One fsync covers the whole frame's journaled evidence.
+	w.syncJournalLocked()
 	return out
 }
 
@@ -387,8 +408,22 @@ func (w *Witness) ingestLocked(st *sourceState, gh *GossipHead) IngestResult {
 		// proof.
 	}
 
-	accept := func() IngestResult {
+	// record journals a head kept as evidence (or, when cosigned, as the
+	// new frontier candidate) so it survives a witness restart. Only
+	// state CHANGES are journaled: peers re-gossip the same frontiers
+	// every round, and re-journaling an identical head each time would
+	// grow the journal without bound at steady state.
+	record := func(cosigned bool) {
+		prev, had := st.heads[head.Size]
+		changed := !had || prev.Head != head.Head || (cosigned && !st.cosigned[head.Size])
 		st.heads[head.Size] = head
+		if changed {
+			w.journalEvent(evHead, &headEvent{SourcePK: st.pkb, Head: head, Cosigned: cosigned})
+		}
+	}
+
+	accept := func() IngestResult {
+		record(true)
 		st.cosigned[head.Size] = true
 		if !st.hasFrontier || head.Size > st.frontier {
 			st.frontier = head.Size
@@ -408,11 +443,11 @@ func (w *Witness) ingestLocked(st *sourceState, gh *GossipHead) IngestResult {
 	if head.Size > st.frontier {
 		front := st.heads[st.frontier]
 		if cons == nil {
-			st.heads[head.Size] = head // evidence, but no cosignature
+			record(false) // evidence, but no cosignature
 			return IngestResult{Recorded: true}
 		}
 		if cons.OldSize != int(front.Size) || cons.NewSize != int(head.Size) {
-			st.heads[head.Size] = head
+			record(false)
 			return IngestResult{Recorded: true}
 		}
 		if aolog.VerifyShardConsistency(front.Head, head.Head, cons) {
@@ -432,18 +467,18 @@ func (w *Witness) ingestLocked(st *sourceState, gh *GossipHead) IngestResult {
 				Consistency: cons,
 			}
 			w.recordProofLocked(proof)
-			st.heads[head.Size] = head
+			record(false)
 			return IngestResult{Recorded: true, Proof: proof}
 		}
 		// Malformed proof from an untrusted relay: keep the head as
 		// evidence but do not cosign or accuse.
-		st.heads[head.Size] = head
+		record(false)
 		return IngestResult{Recorded: true}
 	}
 
 	// Behind the frontier at an unseen size: we cannot anchor a
 	// consistency check backwards, so record without cosigning.
-	st.heads[head.Size] = head
+	record(false)
 	return IngestResult{Recorded: true}
 }
 
@@ -463,20 +498,29 @@ func (w *Witness) cosignLocked(st *sourceState, head aolog.BLSSignedHead) Cosign
 		st.cosigs[head.Size] = make(map[string]Cosignature)
 	}
 	st.cosigs[head.Size][key] = co
+	w.journalEvent(evCosig, &cosigEvent{SourcePK: st.pkb, Head: head, Cosig: co})
 	return co
 }
 
 // mergeCosigLocked stores a signature-verified cosignature, provided the
-// head it covers is the recorded head at that size. Caller holds w.mu.
+// head it covers is the recorded head at that size. A byte-identical
+// cosignature already held is a no-op (and, importantly, is NOT
+// re-journaled — idle gossip rounds re-send the same frontiers forever
+// and must not grow the journal). Caller holds w.mu.
 func (w *Witness) mergeCosigLocked(st *sourceState, head aolog.BLSSignedHead, co Cosignature) {
 	rec, ok := st.heads[head.Size]
 	if !ok || rec.Head != head.Head {
 		return
 	}
+	key := hex.EncodeToString(co.Witness)
+	if have, ok := st.cosigs[head.Size][key]; ok && bytes.Equal(have.Sig, co.Sig) {
+		return
+	}
 	if st.cosigs[head.Size] == nil {
 		st.cosigs[head.Size] = make(map[string]Cosignature)
 	}
-	st.cosigs[head.Size][hex.EncodeToString(co.Witness)] = co
+	st.cosigs[head.Size][key] = co
+	w.journalEvent(evCosig, &cosigEvent{SourcePK: st.pkb, Head: head, Cosig: co})
 }
 
 // recordProofLocked appends a new equivocation proof, deduplicating
@@ -488,6 +532,7 @@ func (w *Witness) recordProofLocked(p *EquivocationProof) {
 	}
 	w.proofKeys[key] = true
 	w.proofs = append(w.proofs, *p)
+	w.journalEvent(evProof, p)
 }
 
 // Proofs returns every equivocation proof this witness has produced or
@@ -525,6 +570,7 @@ func (w *Witness) AddProof(p *EquivocationProof) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.recordProofLocked(p)
+	w.syncJournalLocked()
 	return nil
 }
 

@@ -42,6 +42,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/bls"
 	"repro/internal/gossip"
+	"repro/internal/store"
 )
 
 // DefaultShards is the stripe count of the monitor's public log.
@@ -66,6 +67,14 @@ type Monitor struct {
 	alerts     []audit.Misbehavior
 	slashed    map[string]int  // equivocation-proof fingerprint -> log index
 	logSources map[string]bool // hex BLS keys slashing reports may accuse
+
+	// Persistence (nil/zero for in-memory monitors; see Open).
+	store         *store.Store
+	snapshotEvery int
+	sinceSnap     int
+	snapWriting   bool       // a background snapshot write is in flight
+	snapDone      *sync.Cond // on mu; signaled when snapWriting clears
+	persistErr    error      // sticky best-effort failure, surfaced by Close
 }
 
 // New creates a monitor for a deployment with DefaultShards log stripes.
@@ -199,6 +208,15 @@ func (m *Monitor) SubmitBatch(envs []*audit.AttestedStatusEnvelope) []BatchOutco
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// Durability before acknowledgment: the WAL append (group-committed
+	// fsync) happens before the in-memory log advances, so a signed head
+	// can never cover a leaf a crash could lose.
+	if err := m.appendDurable(payloads); err != nil {
+		for _, a := range acc {
+			out[a.pos] = BatchOutcome{LogIndex: -1, Err: fmt.Errorf("monitor: persisting submission: %w", err)}
+		}
+		return out
+	}
 	first := m.log.AppendBatch(payloads)
 	for k, a := range acc {
 		idx := first + k
@@ -219,6 +237,7 @@ func (m *Monitor) SubmitBatch(envs []*audit.AttestedStatusEnvelope) []BatchOutco
 		m.perDom[name] = append(m.perDom[name], Observation{Envelope: *a.env, LogIndex: idx})
 		out[a.pos] = BatchOutcome{LogIndex: idx, Alert: proof}
 	}
+	m.maybeSnapshotLocked(len(acc))
 	return out
 }
 
@@ -289,6 +308,9 @@ func (m *Monitor) RecordLogEquivocation(p *gossip.EquivocationProof) (int, error
 	if idx, ok := m.slashed[fp]; ok { // raced with another reporter
 		return idx, nil
 	}
+	if err := m.appendDurable([][]byte{payload}); err != nil {
+		return -1, fmt.Errorf("monitor: persisting equivocation report: %w", err)
+	}
 	idx := m.log.Append(payload)
 	m.slashed[fp] = idx
 	m.alerts = append(m.alerts, audit.Misbehavior{
@@ -296,6 +318,7 @@ func (m *Monitor) RecordLogEquivocation(p *gossip.EquivocationProof) (int, error
 		Domain: p.Source,
 		Gossip: p,
 	})
+	m.maybeSnapshotLocked(1)
 	return idx, nil
 }
 
@@ -311,7 +334,14 @@ func (m *Monitor) Alerts() []audit.Misbehavior {
 func (m *Monitor) TreeHead() aolog.SignedHead {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return aolog.SignHead(m.signer, uint64(m.log.Len()), m.log.SuperRoot())
+	h := aolog.SignHead(m.signer, uint64(m.log.Len()), m.log.SuperRoot())
+	// Recovery verifies the durable log against the newest signed head;
+	// a failed head write cannot fork anything (the leaves it covers are
+	// already durable), so it is sticky-reported instead of fatal.
+	if err := m.persistHeadLocked(h.Size, h.Head, h.Signature, "ed25519"); err != nil {
+		m.persistErr = err
+	}
+	return h
 }
 
 // TreeHeadBLS returns a BLS-signed head over the same (size, super-root)
@@ -322,7 +352,11 @@ func (m *Monitor) TreeHeadBLS() (aolog.BLSSignedHead, error) {
 	if m.blsKey == nil {
 		return aolog.BLSSignedHead{}, fmt.Errorf("monitor: BLS tree heads not enabled")
 	}
-	return aolog.SignHeadBLS(m.blsKey, uint64(m.log.Len()), m.log.SuperRoot()), nil
+	h := aolog.SignHeadBLS(m.blsKey, uint64(m.log.Len()), m.log.SuperRoot())
+	if err := m.persistHeadLocked(h.Size, h.Head, h.Signature, "bls"); err != nil {
+		return aolog.BLSSignedHead{}, err
+	}
+	return h, nil
 }
 
 // NumShards reports the public log's stripe count (proof verifiers need

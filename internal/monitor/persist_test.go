@@ -1,0 +1,294 @@
+package monitor
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/aolog"
+	"repro/internal/audit"
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+	"repro/internal/gossip"
+	"repro/internal/sandbox"
+)
+
+func openTestMonitor(t *testing.T, dir string, params audit.Params, snapEvery int) *Monitor {
+	t.Helper()
+	m, err := Open(dir, params, &OpenOptions{Shards: 4, SnapshotEvery: snapEvery, NoSync: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestMonitorRestartRoundTrip is the restart acceptance test: populate
+// a persistent monitor via Submit/SubmitBatch, let a witness build a
+// cosigned frontier against it, reopen from the same directory, and
+// check the monitor IS the same log — same super-root, same tree-head
+// keys, proofs that still verify — and that the witness advances its
+// frontier across the restart without an equivocation false-positive.
+func TestMonitorRestartRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	dir := t.TempDir()
+
+	mon := openTestMonitor(t, dir, f.params, 3) // snapshot mid-run
+	idx0, _, err := mon.Submit(envelope(fw, "r0"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, o := range mon.SubmitBatch([]*audit.AttestedStatusEnvelope{
+		envelope(fw, "r1"), envelope(fw, "r2"), envelope(fw, "r3"), envelope(fw, "r4"),
+	}) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	pub1 := mon.PublicKey()
+	blsPub1 := mon.BLSPublicKey()
+	head1 := mon.TreeHead()
+	headBLS1, err := mon.TreeHeadBLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A witness accepts the pre-restart head (trust on first use).
+	wit, err := gossip.NewWitness(gossip.Config{Name: "w", Key: mustKey(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wit.AddSource(gossip.Source{Name: "mon", Key: blsPub1}); err != nil {
+		t.Fatal(err)
+	}
+	if res := wit.Ingest("mon", headBLS1, nil); !res.Accepted || res.Proof != nil {
+		t.Fatalf("pre-restart head not accepted: %+v", res)
+	}
+
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// ---- restart ----
+	mon2 := openTestMonitor(t, dir, f.params, 3)
+	defer mon2.Close()
+	info, ok := mon2.RecoveryInfo()
+	if !ok || info.Leaves != 5 || !info.HasHead {
+		t.Fatalf("recovery info = %+v ok=%v", info, ok)
+	}
+	if info.SnapshotSize == 0 {
+		t.Fatal("no snapshot was taken before the restart")
+	}
+
+	// Identity: same tree-head keys.
+	if !bytes.Equal(pub1, mon2.PublicKey()) {
+		t.Fatal("ed25519 tree-head key changed across restart")
+	}
+	if !blsPub1.Equal(mon2.BLSPublicKey()) {
+		t.Fatal("BLS tree-head key changed across restart")
+	}
+	// Identical super-root, and the BLS head signature still verifies
+	// under the ORIGINAL public key.
+	head2 := mon2.TreeHead()
+	if head2.Size != head1.Size || head2.Head != head1.Head {
+		t.Fatalf("super-root changed across restart: %d/%x vs %d/%x", head1.Size, head1.Head, head2.Size, head2.Head)
+	}
+	headBLS2, err := mon2.TreeHeadBLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aolog.VerifyHeadBLS(blsPub1, &headBLS2) {
+		t.Fatal("post-restart BLS head does not verify under the pre-restart key")
+	}
+	// Derived state survived.
+	if n := mon2.Observations("d1"); n != 5 {
+		t.Fatalf("observations after restart = %d, want 5", n)
+	}
+	if len(mon2.Alerts()) != 0 {
+		t.Fatalf("honest timeline grew alerts across restart: %+v", mon2.Alerts())
+	}
+	// Inclusion proof of a pre-restart submission against the recovered
+	// super-root.
+	payload, incl, err := mon2.ProveInclusion(idx0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aolog.VerifyShardInclusion(payload, incl, head2.Head) {
+		t.Fatal("inclusion proof failed after restart")
+	}
+
+	// Grow the log post-restart; consistency must bridge the restart.
+	for _, o := range mon2.SubmitBatch([]*audit.AttestedStatusEnvelope{
+		envelope(fw, "r5"), envelope(fw, "r6"),
+	}) {
+		if o.Err != nil {
+			t.Fatal(o.Err)
+		}
+	}
+	head3, err := mon2.TreeHeadBLS()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := mon2.ProveConsistency(int(head1.Size))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !aolog.VerifyShardConsistency(head1.Head, head3.Head, cons) {
+		t.Fatal("consistency across the restart failed")
+	}
+	// The witness advances its frontier over the restart boundary with
+	// no equivocation false-positive.
+	res := wit.Ingest("mon", head3, cons)
+	if res.Proof != nil {
+		t.Fatalf("restart produced an equivocation false-positive: %+v", res.Proof)
+	}
+	if !res.Accepted {
+		t.Fatalf("witness did not advance across the restart: %+v", res)
+	}
+	if front, ok := wit.Frontier("mon"); !ok || front.Size != head3.Size {
+		t.Fatalf("frontier = %+v ok=%v, want size %d", front, ok, head3.Size)
+	}
+}
+
+// TestMonitorRestartWithoutCloseReplaysWAL crashes (no Close, so no
+// final snapshot/checkpoint) and recovers everything from the WAL.
+func TestMonitorRestartWithoutCloseReplaysWAL(t *testing.T) {
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	dir := t.TempDir()
+	mon := openTestMonitor(t, dir, f.params, -1) // snapshots disabled
+	for i := 0; i < 4; i++ {
+		if _, _, err := mon.Submit(envelope(fw, "c"+string(rune('0'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	head := mon.TreeHead()
+	// No Close: simulated crash.
+
+	mon2 := openTestMonitor(t, dir, f.params, -1)
+	defer mon2.Close()
+	head2 := mon2.TreeHead()
+	if head2.Size != head.Size || head2.Head != head.Head {
+		t.Fatal("crash recovery lost acknowledged submissions")
+	}
+	if n := mon2.Observations("d1"); n != 4 {
+		t.Fatalf("observations after crash = %d, want 4", n)
+	}
+}
+
+// TestMonitorRestartPreservesAlertsAndSlashing: misbehavior proofs and
+// the slashing ledger are part of the recovered state; a replayed
+// conviction is answered with the original log index.
+func TestMonitorRestartPreservesAlertsAndSlashing(t *testing.T) {
+	f := newFixture(t)
+	dir := t.TempDir()
+	mon := openTestMonitor(t, dir, f.params, 2)
+
+	// A rollback across clients produces a misbehavior alert (same
+	// construction as TestRollbackAcrossClientsDetected).
+	fwA := f.newFramework(t, blsapp.ModuleBytes())
+	m2 := blsapp.Module()
+	m2.Functions[0].Code = append(m2.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
+	mb2 := m2.Encode()
+	if err := fwA.Install(2, mb2, f.dev.SignUpdate(2, mb2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, proof, err := mon.Submit(envelope(fwA, "a")); err != nil || proof != nil {
+		t.Fatalf("first view: %v %v", err, proof)
+	}
+	fwB := f.newFramework(t, blsapp.ModuleBytes()) // wiped & reinstalled v1
+	_, proof, err := mon.Submit(envelope(fwB, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proof == nil || proof.Kind != audit.MisbehaviorRollback {
+		t.Fatalf("rollback not detected pre-restart: %+v", proof)
+	}
+
+	// A gossip conviction of a registered peer log.
+	peerKey, peerPub, err := bls.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mon.RegisterLogSource(peerPub); err != nil {
+		t.Fatal(err)
+	}
+	kb := peerPub.Bytes()
+	forkA := aolog.SignHeadBLS(peerKey, 9, aolog.Digest{1})
+	forkB := aolog.SignHeadBLS(peerKey, 9, aolog.Digest{2})
+	conviction := &gossip.EquivocationProof{Source: "peer", SourcePK: kb[:], A: forkA, B: forkB}
+	slashIdx, err := mon.RecordLogEquivocation(conviction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alertsBefore := len(mon.Alerts())
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	mon2 := openTestMonitor(t, dir, f.params, 2)
+	defer mon2.Close()
+	alerts := mon2.Alerts()
+	if len(alerts) != alertsBefore {
+		t.Fatalf("alerts after restart = %d, want %d", len(alerts), alertsBefore)
+	}
+	found := false
+	for _, a := range alerts {
+		if a.Kind == proof.Kind && a.Domain == proof.Domain {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pre-restart %s alert lost", proof.Kind)
+	}
+	// Replaying the conviction must hit the recovered dedupe ledger:
+	// same index, no new log entry. The accused key must also still be
+	// registered (snapshot carries the log-source set).
+	size := mon2.TreeHead().Size
+	idx2, err := mon2.RecordLogEquivocation(conviction)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx2 != slashIdx {
+		t.Fatalf("replayed conviction got index %d, want %d", idx2, slashIdx)
+	}
+	if mon2.TreeHead().Size != size {
+		t.Fatal("replayed conviction grew the recovered log")
+	}
+}
+
+// TestMonitorRefusesTamperedDirectory: recovery must not serve a log
+// that contradicts the last signed head (lost or modified data).
+func TestMonitorRefusesTamperedDirectory(t *testing.T) {
+	f := newFixture(t)
+	fw := f.newFramework(t, blsapp.ModuleBytes())
+	dir := t.TempDir()
+	mon := openTestMonitor(t, dir, f.params, -1)
+	for i := 0; i < 3; i++ {
+		if _, _, err := mon.Submit(envelope(fw, "t"+string(rune('0'+i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mon.TreeHead() // persist a signed head covering all 3 leaves
+	if err := mon.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wipe one shard's segments: the log comes back shorter than the
+	// signed head and Open must refuse.
+	if err := os.RemoveAll(filepath.Join(dir, "segments", "shard-001")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, f.params, &OpenOptions{Shards: 4, NoSync: true}); err == nil {
+		t.Fatal("tampered directory served")
+	}
+}
+
+func mustKey(t *testing.T) *bls.SecretKey {
+	t.Helper()
+	sk, _, err := bls.GenerateKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sk
+}
