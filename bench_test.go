@@ -56,7 +56,7 @@ func benchmarkSandboxRow(b *testing.B, moduleBytes []byte, hosts map[string]*san
 	if err := fw.Install(1, moduleBytes, dev.SignUpdate(1, moduleBytes)); err != nil {
 		b.Fatal(err)
 	}
-	req := blsapp.EncodeSignRequest(table3Msg)
+	req := blsapp.EncodeSignRequest(0, table3Msg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := fw.Invoke(req); err != nil {
@@ -75,7 +75,7 @@ func BenchmarkTable3Sandbox(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchmarkSandboxRow(b, blsapp.FineModuleBytes(), blsapp.FineHosts(&shares[0]))
+	benchmarkSandboxRow(b, blsapp.FineModuleBytes(), blsapp.FineHosts(blsapp.NewShareState(shares[0])))
 }
 
 // BenchmarkTable3SandboxCoarse is Ablation G's other granularity point:
@@ -86,7 +86,7 @@ func BenchmarkTable3SandboxCoarse(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	benchmarkSandboxRow(b, blsapp.ModuleBytes(), blsapp.Hosts(&shares[0]))
+	benchmarkSandboxRow(b, blsapp.ModuleBytes(), blsapp.Hosts(blsapp.NewShareState(shares[0])))
 }
 
 // BenchmarkTable3TEESandbox is Table 3 row 3: the sandboxed application
@@ -110,7 +110,7 @@ func BenchmarkTable3TEESandbox(b *testing.B) {
 		Name:         "bench-tee",
 		Vendor:       vendor,
 		DeveloperKey: dev.PublicKey(),
-		Hosts:        blsapp.FineHosts(&shares[0]),
+		Hosts:        blsapp.FineHosts(blsapp.NewShareState(shares[0])),
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -125,7 +125,7 @@ func BenchmarkTable3TEESandbox(b *testing.B) {
 		b.Fatal(err)
 	}
 	defer client.Close()
-	req := blsapp.EncodeSignRequest(table3Msg)
+	req := blsapp.EncodeSignRequest(0, table3Msg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		var resp domain.InvokeResponse
@@ -166,11 +166,14 @@ func BenchmarkTable3NextGenTEE(b *testing.B) {
 	app := &hwnext.NativeApp{
 		Bytes: []byte("bls-sign-share-native-v1"),
 		Handler: func(req []byte) ([]byte, error) {
-			ss, err := blsapp.DecodeSignRequestForNative(req)
+			epoch, msg, err := blsapp.DecodeSignRequestForNative(req)
 			if err != nil {
 				return nil, err
 			}
-			share := ks.SignShare(ss)
+			if epoch != ks.Epoch {
+				return blsapp.EncodeStaleResponseForNative(ks.Epoch), nil
+			}
+			share := ks.SignShare(msg)
 			return blsapp.EncodeSignResponseForNative(&share), nil
 		},
 	}
@@ -178,7 +181,7 @@ func BenchmarkTable3NextGenTEE(b *testing.B) {
 	if err := hf.Install(1, app.Bytes, dev.SignUpdate(1, app.Bytes)); err != nil {
 		b.Fatal(err)
 	}
-	req := blsapp.EncodeSignRequest(table3Msg)
+	req := blsapp.EncodeSignRequest(0, table3Msg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := hf.Invoke(req); err != nil {
@@ -215,7 +218,7 @@ func deployForBench(b *testing.B, n int) (*core.Deployment, *bls.ThresholdKey, *
 		AppModule:  blsapp.ModuleBytes(),
 		AppVersion: 1,
 		HostsFor: func(i int) map[string]*sandbox.HostFunc {
-			return blsapp.Hosts(&shares[i])
+			return blsapp.Hosts(blsapp.NewShareState(shares[i]))
 		},
 	})
 	if err != nil {
@@ -303,8 +306,8 @@ func BenchmarkVerifyMisbehaviorProof(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	fwA, _ := framework.New(dev.PublicKey(), enclave, blsapp.Hosts(&benchShares[0]))
-	fwB, _ := framework.New(dev.PublicKey(), enclave, blsapp.Hosts(&benchShares[1]))
+	fwA, _ := framework.New(dev.PublicKey(), enclave, blsapp.Hosts(blsapp.NewShareState(benchShares[0])))
+	fwB, _ := framework.New(dev.PublicKey(), enclave, blsapp.Hosts(blsapp.NewShareState(benchShares[1])))
 	mbA := blsapp.ModuleBytes()
 	mB := blsapp.Module()
 	mB.Functions[0].Code = append(mB.Functions[0].Code, sandbox.Instr{Op: sandbox.OpNop})
@@ -486,7 +489,7 @@ func BenchmarkDeployBootstrap3(b *testing.B) {
 			AppModule:  mb,
 			AppVersion: 1,
 			HostsFor: func(j int) map[string]*sandbox.HostFunc {
-				return blsapp.Hosts(&shares[j])
+				return blsapp.Hosts(blsapp.NewShareState(shares[j]))
 			},
 		})
 		if err != nil {

@@ -56,7 +56,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("benchtable3: %v", err)
 	}
-	fw, err := framework.New(dev.PublicKey(), nil, blsapp.FineHosts(ks))
+	fw, err := framework.New(dev.PublicKey(), nil, blsapp.FineHosts(blsapp.NewShareState(*ks)))
 	if err != nil {
 		log.Fatalf("benchtable3: %v", err)
 	}
@@ -64,7 +64,7 @@ func main() {
 	if err := fw.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
 		log.Fatalf("benchtable3: %v", err)
 	}
-	req := blsapp.EncodeSignRequest(msg)
+	req := blsapp.EncodeSignRequest(0, msg)
 	sandbox := measure(*warmup, *iters, func() {
 		if _, err := fw.Invoke(req); err != nil {
 			log.Fatalf("benchtable3: sandbox invoke: %v", err)
@@ -81,7 +81,7 @@ func main() {
 		Name:         "bench-tee",
 		Vendor:       vendor,
 		DeveloperKey: dev.PublicKey(),
-		Hosts:        blsapp.FineHosts(ks),
+		Hosts:        blsapp.FineHosts(blsapp.NewShareState(*ks)),
 	})
 	if err != nil {
 		log.Fatalf("benchtable3: %v", err)

@@ -1,10 +1,12 @@
 // Command dtclient is the user-side tool for a running deployment
-// (started with trustdomaind): it audits the deployment and requests
-// threshold signatures, singly or in batches.
+// (started with trustdomaind): it audits the deployment, requests
+// threshold signatures (singly or in batches), and drives proactive
+// share-refresh ceremonies.
 //
 //	dtclient -params deployment.json audit
 //	dtclient -params deployment.json sign -msg "transfer 3 BTC"
 //	dtclient -params deployment.json signbatch "msg one" "msg two" "msg three"
+//	dtclient -params deployment.json refresh
 //	dtclient -params deployment.json status -domain domain-1
 //	dtclient -params deployment.json witnessaudit \
 //	    -monitor 127.0.0.1:7070 -witnesses 127.0.0.1:7171,127.0.0.1:7172 \
@@ -13,6 +15,18 @@
 // signbatch ships all messages to each domain in a single batched invoke
 // RPC (one frame per domain instead of one per message) and verifies the
 // collected signature shares with batched pairing checks.
+//
+// refresh moves every trust domain to the next share epoch (a fresh
+// Shamir sharing of the same secret): the ceremony package is durably
+// recorded next to the parameters file before any domain is contacted
+// (<params>.refresh-pending, removed on commit, re-driven on restart),
+// every domain must acknowledge, the new epoch is probed with a real
+// threshold signature, and the parameters file is rewritten with the
+// rotated share keys and the new epoch pinned. The group public key —
+// and every signature ever issued — is unchanged. Sign requests carry
+// the epoch from the parameters file; if the deployment has since been
+// refreshed the domains answer "stale epoch" and dtclient re-reads the
+// parameters file once before giving up (see DESIGN.md §7).
 //
 // witnessaudit is the scale path for log auditing: instead of replaying a
 // monitor's log, the client submits the head it saw to the witness set
@@ -25,6 +39,7 @@ package main
 
 import (
 	"encoding/hex"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -47,7 +62,7 @@ func main() {
 	paramsPath := flag.String("params", "deployment.json", "deployment parameters file from trustdomaind")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("dtclient: need a subcommand: audit | sign | signbatch | status")
+		log.Fatal("dtclient: need a subcommand: audit | sign | signbatch | refresh | status")
 	}
 
 	file, err := deployfile.Read(*paramsPath)
@@ -63,9 +78,11 @@ func main() {
 	case "audit":
 		runAudit(params)
 	case "sign":
-		runSign(file, params, flag.Args()[1:])
+		runSign(*paramsPath, file, params, flag.Args()[1:])
 	case "signbatch":
-		runSignBatch(file, params, flag.Args()[1:])
+		runSignBatch(*paramsPath, file, params, flag.Args()[1:])
+	case "refresh":
+		runRefresh(*paramsPath, file, params)
 	case "status":
 		runStatus(params, flag.Args()[1:])
 	case "witnessaudit":
@@ -73,6 +90,83 @@ func main() {
 	default:
 		log.Fatalf("dtclient: unknown subcommand %q", flag.Arg(0))
 	}
+}
+
+// pendingPath is where an in-flight refresh ceremony is durably staged.
+func pendingPath(paramsPath string) string { return paramsPath + ".refresh-pending" }
+
+// runRefresh drives one proactive share-refresh ceremony: every domain
+// moves to epoch+1, the new epoch is probed with a real signature, and
+// the parameters file is atomically rewritten (same group key, rotated
+// share keys). An interrupted ceremony leaves the pending file; running
+// refresh again re-drives the same package to completion.
+func runRefresh(paramsPath string, file *deployfile.File, params audit.Params) {
+	tk, err := file.ThresholdKey()
+	if err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+	if tk == nil {
+		log.Fatal("dtclient: deployment file has no threshold key")
+	}
+	if len(tk.Commitment) != tk.T {
+		log.Fatal("dtclient: deployment file has no Feldman commitment (re-deploy with a current trustdomaind to enable refresh)")
+	}
+
+	pending := pendingPath(paramsPath)
+	ref, err := deployfile.ReadRefresh(pending)
+	if err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+	switch {
+	case ref != nil && ref.NewEpoch <= tk.Epoch:
+		// A previous run committed the parameters file but died before
+		// removing the pending file.
+		if err := deployfile.RemoveRefresh(pending); err != nil {
+			log.Fatalf("dtclient: %v", err)
+		}
+		ref = nil
+	case ref != nil && ref.NewEpoch != tk.Epoch+1:
+		log.Fatalf("dtclient: pending ceremony targets epoch %d but parameters are at epoch %d", ref.NewEpoch, tk.Epoch)
+	case ref != nil:
+		fmt.Printf("resuming interrupted refresh ceremony to epoch %d\n", ref.NewEpoch)
+	}
+	if ref == nil {
+		ref, err = bls.NewRefresh(tk)
+		if err != nil {
+			log.Fatalf("dtclient: %v", err)
+		}
+		// Durable-intent first: if this process dies mid-ceremony, the
+		// exact package survives for the re-drive.
+		if err := deployfile.WriteRefresh(pending, ref); err != nil {
+			log.Fatalf("dtclient: %v", err)
+		}
+	}
+
+	inv := &rpcInvoker{params: params}
+	defer inv.close()
+	if err := blsapp.RunRefreshCeremony(inv, ref); err != nil {
+		log.Fatalf("dtclient: %v\n(the ceremony is safe to re-run: dtclient refresh)", err)
+	}
+
+	// Probe the new epoch end to end before committing the parameters.
+	probe := []byte("dtclient refresh probe")
+	sig, err := blsapp.ThresholdSign(inv, ref.NewKey, probe)
+	if err != nil {
+		log.Fatalf("dtclient: post-refresh probe signature: %v", err)
+	}
+	if !bls.Verify(&ref.NewKey.GroupKey, probe, sig) {
+		log.Fatal("dtclient: post-refresh probe signature does not verify under the (unchanged) group key")
+	}
+
+	file.Threshold = deployfile.ThresholdEntryFromKey(ref.NewKey)
+	if err := file.Write(paramsPath); err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+	if err := deployfile.RemoveRefresh(pending); err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+	fmt.Printf("shares refreshed: deployment now at epoch %d (was %d)\n", ref.NewEpoch, tk.Epoch)
+	fmt.Println("group public key unchanged; share keys rotated; parameters file updated")
 }
 
 // runWitnessAudit audits a monitor's log through the witness quorum: one
@@ -191,7 +285,42 @@ func runAudit(params audit.Params) {
 	os.Exit(1)
 }
 
-func runSign(file *deployfile.File, params audit.Params, args []string) {
+// keyWithStaleReload reads the threshold key from file, runs sign with
+// it, and on a stale-epoch answer re-reads the parameters file ONCE (a
+// refresh coordinator rewrites it at every epoch commit) and retries.
+func keyWithStaleReload[T any](paramsPath string, file *deployfile.File, sign func(tk *bls.ThresholdKey) (T, error)) (T, *bls.ThresholdKey) {
+	tk, err := file.ThresholdKey()
+	if err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+	if tk == nil {
+		log.Fatal("dtclient: deployment file has no threshold key")
+	}
+	out, err := sign(tk)
+	var stale *blsapp.StaleEpochError
+	if err != nil && errors.As(err, &stale) {
+		reread, rerr := deployfile.Read(paramsPath)
+		if rerr != nil {
+			log.Fatalf("dtclient: %v", rerr)
+		}
+		tk2, rerr := reread.ThresholdKey()
+		if rerr != nil || tk2 == nil {
+			log.Fatalf("dtclient: re-reading threshold key: %v", rerr)
+		}
+		if tk2.Epoch == tk.Epoch {
+			log.Fatalf("dtclient: sign: %v\n(the deployment was refreshed; fetch the current parameters file or run: dtclient refresh)", err)
+		}
+		fmt.Printf("deployment refreshed to epoch %d; retrying with rotated key\n", tk2.Epoch)
+		tk = tk2
+		out, err = sign(tk)
+	}
+	if err != nil {
+		log.Fatalf("dtclient: sign: %v", err)
+	}
+	return out, tk
+}
+
+func runSign(paramsPath string, file *deployfile.File, params audit.Params, args []string) {
 	fs := flag.NewFlagSet("sign", flag.ExitOnError)
 	msg := fs.String("msg", "", "message to threshold-sign")
 	if err := fs.Parse(args); err != nil {
@@ -200,38 +329,23 @@ func runSign(file *deployfile.File, params audit.Params, args []string) {
 	if *msg == "" {
 		log.Fatal("dtclient: sign needs -msg")
 	}
-	tk, err := file.ThresholdKey()
-	if err != nil {
-		log.Fatalf("dtclient: %v", err)
-	}
-	if tk == nil {
-		log.Fatal("dtclient: deployment file has no threshold key")
-	}
 	inv := &rpcInvoker{params: params}
 	defer inv.close()
-	sig, err := blsapp.ThresholdSign(inv, tk, []byte(*msg))
-	if err != nil {
-		log.Fatalf("dtclient: sign: %v", err)
-	}
+	sig, tk := keyWithStaleReload(paramsPath, file, func(tk *bls.ThresholdKey) (*bls.Signature, error) {
+		return blsapp.ThresholdSign(inv, tk, []byte(*msg))
+	})
 	if !bls.Verify(&tk.GroupKey, []byte(*msg), sig) {
 		log.Fatal("dtclient: combined signature failed verification")
 	}
 	sb := sig.Bytes()
 	fmt.Printf("message:   %q\n", *msg)
 	fmt.Printf("signature: %s\n", hex.EncodeToString(sb[:]))
-	fmt.Printf("verified under group key (threshold %d-of-%d)\n", tk.T, tk.N)
+	fmt.Printf("verified under group key (threshold %d-of-%d, epoch %d)\n", tk.T, tk.N, tk.Epoch)
 }
 
-func runSignBatch(file *deployfile.File, params audit.Params, msgs []string) {
+func runSignBatch(paramsPath string, file *deployfile.File, params audit.Params, msgs []string) {
 	if len(msgs) == 0 {
 		log.Fatal("dtclient: signbatch needs at least one message argument")
-	}
-	tk, err := file.ThresholdKey()
-	if err != nil {
-		log.Fatalf("dtclient: %v", err)
-	}
-	if tk == nil {
-		log.Fatal("dtclient: deployment file has no threshold key")
 	}
 	batch := make([][]byte, len(msgs))
 	for i, m := range msgs {
@@ -239,10 +353,9 @@ func runSignBatch(file *deployfile.File, params audit.Params, msgs []string) {
 	}
 	inv := &rpcInvoker{params: params}
 	defer inv.close()
-	sigs, err := blsapp.ThresholdSignBatch(inv, tk, batch)
-	if err != nil {
-		log.Fatalf("dtclient: signbatch: %v", err)
-	}
+	sigs, tk := keyWithStaleReload(paramsPath, file, func(tk *bls.ThresholdKey) ([]*bls.Signature, error) {
+		return blsapp.ThresholdSignBatch(inv, tk, batch)
+	})
 	pks := make([]*bls.PublicKey, len(sigs))
 	for i := range pks {
 		pks[i] = &tk.GroupKey

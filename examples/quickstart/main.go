@@ -59,7 +59,7 @@ func main() {
 		AppModule:  blsapp.ModuleBytes(),
 		AppVersion: 1,
 		HostsFor: func(i int) map[string]*sandbox.HostFunc {
-			return blsapp.Hosts(&shares[i])
+			return blsapp.Hosts(blsapp.NewShareState(shares[i]))
 		},
 	})
 	if err != nil {

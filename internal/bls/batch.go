@@ -140,7 +140,7 @@ func (tk *ThresholdKey) VerifyShareSignaturesBatch(msg []byte, shares []Signatur
 	pkAcc.SetInfinity()
 	for i := range shares {
 		ss := &shares[i]
-		if ss.Index == 0 || int(ss.Index) > tk.N || ss.Sig.p.IsInfinity() {
+		if ss.Index == 0 || int(ss.Index) > tk.N || ss.Epoch != tk.Epoch || ss.Sig.p.IsInfinity() {
 			return false
 		}
 		r, err := batchCoeff()

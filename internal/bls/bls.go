@@ -264,16 +264,21 @@ func lagrangeCoefficient(i int, xs []uint32) (ff.Fr, error) {
 	return out, nil
 }
 
-// SignatureShare is a partial signature produced by share Index.
+// SignatureShare is a partial signature produced by share Index at a
+// given refresh epoch.
 type SignatureShare struct {
 	Index uint32
+	Epoch uint64
 	Sig   Signature
 }
 
 // CombineShares interpolates at least t signature shares (with distinct
-// indexes) into the group signature. The caller should have verified each
-// share against the corresponding share public key, or must verify the
-// combined signature against the group key.
+// indexes, all from the same refresh epoch) into the group signature.
+// The caller should have verified each share against the corresponding
+// share public key, or must verify the combined signature against the
+// group key. Shares tagged with different epochs are rejected: they were
+// produced under different sharings of the secret and interpolate to a
+// signature that verifies under no key.
 func CombineShares(shares []SignatureShare, t int) (*Signature, error) {
 	if len(shares) < t {
 		return nil, fmt.Errorf("bls: need at least %d shares, have %d", t, len(shares))
@@ -287,6 +292,9 @@ func CombineShares(shares []SignatureShare, t int) (*Signature, error) {
 	for i, s := range use {
 		if s.Index == 0 {
 			return nil, errors.New("bls: share index 0 is reserved")
+		}
+		if s.Epoch != use[0].Epoch {
+			return nil, fmt.Errorf("bls: signature shares from mixed epochs (%d and %d) never combine", use[0].Epoch, s.Epoch)
 		}
 		xs[i] = s.Index
 	}

@@ -13,15 +13,22 @@ import (
 // shares against a public commitment without trusting the dealer blindly.
 
 // KeyShare is one trust domain's share of the group signing key.
+// Epoch counts proactive refreshes of the deployment (see refresh.go);
+// shares from different epochs belong to different polynomials and must
+// never be combined.
 type KeyShare struct {
 	Index uint32 // 1-based Shamir evaluation point
-	Share ff.Fr  // f(Index)
+	Epoch uint64 // refresh epoch this share belongs to
+	Share ff.Fr  // f_epoch(Index)
 }
 
-// ThresholdKey is the public side of a threshold deployment.
+// ThresholdKey is the public side of a threshold deployment. GroupKey
+// is stable across refresh epochs; ShareKeys and Commitment are
+// per-epoch.
 type ThresholdKey struct {
 	N          int                 // number of shares
 	T          int                 // threshold: T shares reconstruct
+	Epoch      uint64              // refresh epoch of ShareKeys/Commitment
 	GroupKey   PublicKey           // f(0) * G2
 	ShareKeys  []PublicKey         // f(i) * G2 for i = 1..N (index i-1)
 	Commitment []bls12381.G2Affine // Feldman commitment: coeff_j * G2
@@ -85,9 +92,10 @@ func evalPoly(coeffs []ff.Fr, x *ff.Fr) ff.Fr {
 }
 
 // VerifyShare checks a key share against the Feldman commitment:
-// share * G2 must equal sum_j Commitment[j] * index^j.
+// share * G2 must equal sum_j Commitment[j] * index^j. The commitment is
+// per-epoch, so a share from any other epoch is rejected outright.
 func (tk *ThresholdKey) VerifyShare(ks *KeyShare) bool {
-	if ks.Index == 0 || int(ks.Index) > tk.N {
+	if ks.Index == 0 || int(ks.Index) > tk.N || ks.Epoch != tk.Epoch {
 		return false
 	}
 	lhs := bls12381.G2ScalarBaseMult(&ks.Share)
@@ -116,13 +124,14 @@ func (ks *KeyShare) SignShare(msg []byte) SignatureShare {
 	var j, out bls12381.G1Jac
 	j.FromAffine(&h)
 	out.ScalarMult(&j, &ks.Share)
-	return SignatureShare{Index: ks.Index, Sig: Signature{p: out.Affine()}}
+	return SignatureShare{Index: ks.Index, Epoch: ks.Epoch, Sig: Signature{p: out.Affine()}}
 }
 
 // VerifyShareSignature checks a signature share against the matching share
-// public key from the threshold key.
+// public key from the threshold key. Share keys rotate every refresh, so
+// a share tagged with any other epoch is rejected before the pairing.
 func (tk *ThresholdKey) VerifyShareSignature(msg []byte, ss *SignatureShare) bool {
-	if ss.Index == 0 || int(ss.Index) > tk.N {
+	if ss.Index == 0 || int(ss.Index) > tk.N || ss.Epoch != tk.Epoch {
 		return false
 	}
 	pk := tk.ShareKeys[ss.Index-1]
@@ -135,8 +144,18 @@ func (tk *ThresholdKey) VerifyShareSignature(msg []byte, ss *SignatureShare) boo
 // (VerifyShareSignaturesBatch); only when that fails does it fall back to
 // per-share verification to skip the invalid shares.
 func ThresholdSign(tk *ThresholdKey, shares []KeyShare, msg []byte) (*Signature, error) {
+	// Shares from other epochs belong to different polynomials: they can
+	// never combine with tk's epoch, so they are dropped up front rather
+	// than wasted on signing.
+	sameEpoch := make([]KeyShare, 0, len(shares))
+	for _, ks := range shares {
+		if ks.Epoch == tk.Epoch {
+			sameEpoch = append(sameEpoch, ks)
+		}
+	}
+	shares = sameEpoch
 	if len(shares) < tk.T {
-		return nil, errors.New("bls: not enough key shares")
+		return nil, errors.New("bls: not enough key shares at the key's epoch")
 	}
 	fast := make([]SignatureShare, 0, tk.T)
 	for i := 0; i < tk.T; i++ {
@@ -176,6 +195,9 @@ func RecoverSecret(shares []KeyShare, t int) (*SecretKey, error) {
 	for i := 0; i < t; i++ {
 		if shares[i].Index == 0 {
 			return nil, errors.New("bls: share index 0 is reserved")
+		}
+		if shares[i].Epoch != shares[0].Epoch {
+			return nil, fmt.Errorf("bls: key shares from mixed epochs (%d and %d) do not reconstruct the secret", shares[0].Epoch, shares[i].Epoch)
 		}
 		xs[i] = shares[i].Index
 	}

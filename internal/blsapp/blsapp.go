@@ -2,13 +2,25 @@
 // prototype evaluates (§5, Table 3), packaged for the framework:
 //
 //   - a sandbox module ("the application code") that implements the
-//     share-signing algorithm — request parsing and the full double-and-
-//     add scalar-multiplication control flow — as interpreted bytecode;
+//     share-signing algorithm — request parsing, the epoch guard, and
+//     the full double-and-add scalar-multiplication control flow — as
+//     interpreted bytecode;
 //   - host functions exposing the curve primitives (hash-to-point, point
 //     double/add, result emission) and the domain's key share, which is
 //     the application state that lives behind the sandbox boundary; and
 //   - client-side request/response codecs and a threshold-signing client
 //     that collects shares from t domains and combines them.
+//
+// Requests and responses are versioned by refresh epoch (v2 framing): a
+// sign request names the epoch it expects the domain's share to be at,
+// the domain refuses to sign under any other epoch (answering with a
+// stale-epoch marker carrying its current epoch instead), and every
+// signature share is tagged with the epoch that produced it. Together
+// with bls.CombineShares' mixed-epoch rejection this guarantees that a
+// proactive refresh racing a signing round can only force a retry —
+// never a combination of shares from different epochs. The refresh
+// ceremony itself also runs through the sandbox (see refresh.go and
+// ShareState).
 //
 // In the paper the application is libBLS compiled to WebAssembly: the
 // whole signing computation runs sandboxed at ~1.46x native, because Wasm
@@ -27,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/bls"
 	"repro/internal/bls12381"
@@ -37,23 +50,50 @@ import (
 
 // Host-function import names.
 const (
-	HostShareScalar = "bls_share_scalar"  // write the key-share scalar into guest memory
-	HostHashToPoint = "bls_hash_to_point" // hash message bytes into a point slot
-	HostSetInfinity = "bls_set_infinity"  // reset a point slot to the identity
-	HostDouble      = "bls_g1_double"     // double a point slot in place
-	HostAdd         = "bls_g1_add"        // add src slot into dst slot
-	HostEmitShare   = "bls_emit_share"    // write (index, compressed point) to guest memory
+	HostShareScalar  = "bls_share_scalar"     // write the key-share scalar into guest memory
+	HostHashToPoint  = "bls_hash_to_point"    // hash message bytes into a point slot
+	HostSetInfinity  = "bls_set_infinity"     // reset a point slot to the identity
+	HostDouble       = "bls_g1_double"        // double a point slot in place
+	HostAdd          = "bls_g1_add"           // add src slot into dst slot
+	HostEmitShare    = "bls_emit_share"       // write (index, epoch, compressed point) to guest memory
+	HostEpochGuard   = "bls_epoch_guard"      // compare the request's expected epoch to the share's
+	HostApplyRefresh = "bls_apply_refresh"    // validate + durably apply a refresh frame
+	HostEmitStale    = "bls_emit_stale"       // write the stale-epoch marker + current epoch
+	HostEmitAck      = "bls_emit_refresh_ack" // write the refresh ack + current epoch
 )
 
-// opSignShare is the request opcode understood by the module.
-const opSignShare = 1
+// Request opcodes (first request byte). Opcode 1 was the pre-epoch sign
+// framing and is no longer accepted: every sign request must state the
+// epoch it expects.
+const (
+	opSignShare = 2 // [op:1][epoch:8 BE][message...]
+	opRefresh   = 3 // [op:1][refresh frame] (see refresh.go)
+)
+
+// Response markers. Successful sign responses are responseLen bytes and
+// start with the big-endian share index; marker responses are
+// markerRespLen bytes.
+const (
+	respStale      = 0xfe // sign refused: [marker:1][domain epoch:8 BE]
+	respRefreshAck = 0xfd // refresh applied: [marker:1][new epoch:8 BE]
+)
+
+// signReqHeaderLen is the sign-request framing before the message.
+const signReqHeaderLen = 1 + 8
+
+// markerRespLen is the length of stale/ack marker responses.
+const markerRespLen = 1 + 8
 
 // scratchScalar is the guest-memory offset where the module asks the host
 // to place the 32-byte big-endian key-share scalar.
 const scratchScalar = 1024
 
-// moduleSrc implements share signing: sig = share * H(msg), with the
-// 256-bit MSB-first double-and-add loop running as interpreted bytecode.
+// moduleSrc implements the application: opcode 2 signs sig = share *
+// H(msg) with the 256-bit MSB-first double-and-add loop running as
+// interpreted bytecode, after an epoch guard that refuses requests for
+// any epoch but the share's; opcode 3 hands a refresh frame to the host
+// for validation and durable installation, moving the domain to the
+// next epoch.
 const moduleSrc = `
 module memory=135168
 import bls_share_scalar
@@ -62,18 +102,44 @@ import bls_set_infinity
 import bls_g1_double
 import bls_g1_add
 import bls_emit_share
+import bls_epoch_guard
+import bls_apply_refresh
+import bls_emit_stale
+import bls_emit_refresh_ack
 
-func handle params=2 locals=1 results=1
-    ; request = [op:1][message...]
+func handle params=2 locals=2 results=1
+    ; request = [op:1][...]
     localget 1
-    push 2
+    push 1
     lts
     brif bad
     localget 0
     load8
-    push 1
-    ne
+    localset 2
+    localget 2
+    push 2
+    eq
+    brif sign
+    localget 2
+    push 3
+    eq
+    brif refresh
+    br bad
+
+sign:
+    ; [op:1][epoch:8][message >= 1 byte]
+    localget 1
+    push 10
+    lts
     brif bad
+
+    ; refuse any epoch but the share's current one
+    localget 0
+    push 1
+    add
+    hostcall bls_epoch_guard
+    eqz
+    brif stale
 
     ; key-share scalar -> mem[1024..1056), big-endian
     push 1024
@@ -82,10 +148,10 @@ func handle params=2 locals=1 results=1
 
     ; slot 0 = H(msg) ; slot 1 = identity (accumulator)
     localget 0
-    push 1
+    push 9
     add
     localget 1
-    push 1
+    push 9
     sub
     push 0
     hostcall bls_hash_to_point
@@ -94,23 +160,23 @@ func handle params=2 locals=1 results=1
 
     ; MSB-first double-and-add over all 256 scalar bits
     push 0
-    localset 2           ; i = 0
+    localset 3           ; i = 0
 bits:
-    localget 2
+    localget 3
     push 256
     ges
     brif emit
     push 1
     hostcall bls_g1_double
     ; bit = (mem[1024 + i/8] >> (7 - i%8)) & 1
-    localget 2
+    localget 3
     push 3
     shru
     push 1024
     add
     load8
     push 7
-    localget 2
+    localget 3
     push 7
     and
     sub
@@ -123,16 +189,40 @@ bits:
     push 0
     hostcall bls_g1_add  ; acc += base
 next:
-    localget 2
+    localget 3
     push 1
     add
-    localset 2
+    localset 3
     br bits
 
 emit:
     push 1
     push 69632           ; framework.ResponseOffset
     hostcall bls_emit_share
+    ret
+
+refresh:
+    ; [op:1][frame...]: the host validates and durably applies it
+    localget 1
+    push 2
+    lts
+    brif bad
+    localget 0
+    push 1
+    add
+    localget 1
+    push 1
+    sub
+    hostcall bls_apply_refresh
+    eqz
+    brif bad
+    push 69632
+    hostcall bls_emit_refresh_ack
+    ret
+
+stale:
+    push 69632
+    hostcall bls_emit_stale
     ret
 
 bad:
@@ -150,17 +240,30 @@ func Module() *sandbox.Module {
 // ModuleBytes returns the canonical encoding of the application module.
 func ModuleBytes() []byte { return Module().Encode() }
 
-// responseLen is 4 bytes of share index plus a compressed G1 signature.
-const responseLen = 4 + 48
+// responseLen is 4 bytes of share index, 8 bytes of epoch, plus a
+// compressed G1 signature.
+const responseLen = 4 + 8 + 48
 
 // numPointSlots bounds the host-side point table.
 const numPointSlots = 8
 
+// writeMarker writes a [marker][epoch:8] response into guest memory.
+func writeMarker(inst *sandbox.Instance, outPtr int64, marker byte, epoch uint64) ([]int64, error) {
+	out := make([]byte, markerRespLen)
+	out[0] = marker
+	binary.BigEndian.PutUint64(out[1:], epoch)
+	if err := inst.WriteMemory(int(outPtr), out); err != nil {
+		return nil, err
+	}
+	return []int64{markerRespLen}, nil
+}
+
 // Hosts builds the host-function registry for a trust domain holding the
-// given key share. The point-slot table is host-side state scoped to this
-// registry (one per domain), guarded for the framework's serialized
-// invocations.
-func Hosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
+// given share state. The point-slot table is host-side state scoped to
+// this registry (one per domain), guarded for the framework's serialized
+// invocations; the share state carries its own lock because refresh
+// ceremonies mutate it.
+func Hosts(st *ShareState) map[string]*sandbox.HostFunc {
 	var mu sync.Mutex
 	var slots [numPointSlots]bls12381.G1Jac
 
@@ -175,11 +278,57 @@ func Hosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
 		HostShareScalar: {
 			Name: HostShareScalar, Arity: 1, Results: 1, Gas: 50,
 			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				ks := st.Current()
 				b := ks.Share.Bytes()
 				if err := inst.WriteMemory(int(args[0]), b[:]); err != nil {
 					return nil, err
 				}
 				return []int64{int64(len(b))}, nil
+			},
+		},
+		HostEpochGuard: {
+			Name: HostEpochGuard, Arity: 1, Results: 1, Gas: 20,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				raw, err := inst.ReadMemory(int(args[0]), 8)
+				if err != nil {
+					return nil, err
+				}
+				if binary.BigEndian.Uint64(raw) == st.Epoch() {
+					return []int64{1}, nil
+				}
+				return []int64{0}, nil
+			},
+		},
+		HostApplyRefresh: {
+			Name: HostApplyRefresh, Arity: 2, Results: 1, Gas: 500,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				if args[1] <= 0 || args[1] > framework.MaxRequestLen {
+					return nil, fmt.Errorf("blsapp: bad refresh frame length %d", args[1])
+				}
+				raw, err := inst.ReadMemory(int(args[0]), int(args[1]))
+				if err != nil {
+					return nil, err
+				}
+				frame, err := DecodeRefreshFrame(raw)
+				if err != nil {
+					return nil, err
+				}
+				if err := st.ApplyRefresh(frame); err != nil {
+					return nil, err
+				}
+				return []int64{1}, nil
+			},
+		},
+		HostEmitStale: {
+			Name: HostEmitStale, Arity: 1, Results: 1, Gas: 20,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				return writeMarker(inst, args[0], respStale, st.Epoch())
+			},
+		},
+		HostEmitAck: {
+			Name: HostEmitAck, Arity: 1, Results: 1, Gas: 20,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				return writeMarker(inst, args[0], respRefreshAck, st.Epoch())
 			},
 		},
 		HostHashToPoint: {
@@ -258,10 +407,14 @@ func Hosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
 				mu.Lock()
 				aff := slots[slot].Affine()
 				mu.Unlock()
+				ks := st.Current()
 				out := make([]byte, 0, responseLen)
 				var idx [4]byte
 				binary.BigEndian.PutUint32(idx[:], ks.Index)
 				out = append(out, idx[:]...)
+				var ep [8]byte
+				binary.BigEndian.PutUint64(ep[:], ks.Epoch)
+				out = append(out, ep[:]...)
 				enc := aff.Bytes()
 				out = append(out, enc[:]...)
 				if err := inst.WriteMemory(int(outPtr), out); err != nil {
@@ -273,22 +426,25 @@ func Hosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
 	}
 }
 
-// EncodeSignRequest builds the application request for signing msg.
-func EncodeSignRequest(msg []byte) []byte {
-	out := make([]byte, 1+len(msg))
+// EncodeSignRequest builds the application request for signing msg at
+// the given refresh epoch. Domains at any other epoch answer with a
+// stale-epoch marker instead of a share.
+func EncodeSignRequest(epoch uint64, msg []byte) []byte {
+	out := make([]byte, signReqHeaderLen+len(msg))
 	out[0] = opSignShare
-	copy(out[1:], msg)
+	binary.BigEndian.PutUint64(out[1:], epoch)
+	copy(out[signReqHeaderLen:], msg)
 	return out
 }
 
-// DecodeSignRequestForNative parses a sign request into the message to
-// sign, for native (hwnext §4.2) application handlers that share the
-// wire format with the sandboxed variants.
-func DecodeSignRequestForNative(req []byte) ([]byte, error) {
-	if len(req) < 2 || req[0] != opSignShare {
-		return nil, errors.New("blsapp: bad sign request")
+// DecodeSignRequestForNative parses a sign request into its expected
+// epoch and the message to sign, for native (hwnext §4.2) application
+// handlers that share the wire format with the sandboxed variants.
+func DecodeSignRequestForNative(req []byte) (uint64, []byte, error) {
+	if len(req) < signReqHeaderLen+1 || req[0] != opSignShare {
+		return 0, nil, errors.New("blsapp: bad sign request")
 	}
-	return req[1:], nil
+	return binary.BigEndian.Uint64(req[1:signReqHeaderLen]), req[signReqHeaderLen:], nil
 }
 
 // EncodeSignResponseForNative builds the wire response for a natively
@@ -298,22 +454,53 @@ func EncodeSignResponseForNative(share *bls.SignatureShare) []byte {
 	var idx [4]byte
 	binary.BigEndian.PutUint32(idx[:], share.Index)
 	out = append(out, idx[:]...)
+	var ep [8]byte
+	binary.BigEndian.PutUint64(ep[:], share.Epoch)
+	out = append(out, ep[:]...)
 	sig := share.Sig.Bytes()
 	return append(out, sig[:]...)
 }
 
+// EncodeStaleResponseForNative builds the stale-epoch marker a native
+// handler answers with when the request's epoch is not its share's.
+func EncodeStaleResponseForNative(domainEpoch uint64) []byte {
+	out := make([]byte, markerRespLen)
+	out[0] = respStale
+	binary.BigEndian.PutUint64(out[1:], domainEpoch)
+	return out
+}
+
+// StaleEpochError reports that a domain refused to sign because its
+// share is at a different refresh epoch than the request expected. The
+// caller's threshold key is out of date (or the ceremony that rotates
+// it has not reached every domain yet); retry with the current key.
+type StaleEpochError struct {
+	WantEpoch   uint64 // epoch the request asked for
+	DomainEpoch uint64 // epoch the domain reports being at
+}
+
+func (e *StaleEpochError) Error() string {
+	return fmt.Sprintf("blsapp: domain is at refresh epoch %d, request expected epoch %d (retry with the current threshold key)",
+		e.DomainEpoch, e.WantEpoch)
+}
+
 // DecodeSignResponse parses an application response into a signature
-// share.
+// share. A stale-epoch marker decodes to a *StaleEpochError (with
+// WantEpoch zero; the signing layer fills it in).
 func DecodeSignResponse(resp []byte) (*bls.SignatureShare, error) {
 	if len(resp) == 0 {
 		return nil, errors.New("blsapp: application rejected the request")
+	}
+	if len(resp) == markerRespLen && resp[0] == respStale {
+		return nil, &StaleEpochError{DomainEpoch: binary.BigEndian.Uint64(resp[1:])}
 	}
 	if len(resp) != responseLen {
 		return nil, fmt.Errorf("blsapp: response of %d bytes, want %d", len(resp), responseLen)
 	}
 	var ss bls.SignatureShare
 	ss.Index = binary.BigEndian.Uint32(resp[:4])
-	if err := ss.Sig.SetBytes(resp[4:]); err != nil {
+	ss.Epoch = binary.BigEndian.Uint64(resp[4:12])
+	if err := ss.Sig.SetBytes(resp[12:]); err != nil {
 		return nil, fmt.Errorf("blsapp: bad signature share encoding: %w", err)
 	}
 	return &ss, nil
@@ -334,35 +521,136 @@ type BatchInvoker interface {
 	InvokeBatch(domainIndex int, requests [][]byte) ([][]byte, []string, error)
 }
 
+// acceptShare screens a decoded response for the signing round: it
+// appends same-epoch shares, converts cross-epoch responses (stale
+// markers, or shares a misbehaving domain tagged with another epoch)
+// into a *StaleEpochError, and passes other decode errors through.
+func acceptShare(tk *bls.ThresholdKey, shares []bls.SignatureShare, resp []byte) ([]bls.SignatureShare, error) {
+	ss, err := DecodeSignResponse(resp)
+	if err != nil {
+		var stale *StaleEpochError
+		if errors.As(err, &stale) {
+			stale.WantEpoch = tk.Epoch
+		}
+		return shares, err
+	}
+	if ss.Epoch != tk.Epoch {
+		// Never let a share from another epoch near CombineShares.
+		return shares, &StaleEpochError{WantEpoch: tk.Epoch, DomainEpoch: ss.Epoch}
+	}
+	return append(shares, *ss), nil
+}
+
 // ThresholdSign collects signature shares from the first t responsive
 // domains of the deployment and combines them into the group signature.
 // Shares are verified in one batched two-pairing check once t have
 // arrived; only if that batch fails does it verify per share to drop the
-// invalid ones and keep scanning domains.
+// invalid ones and keep scanning domains. Every share is requested — and
+// accepted — at tk's refresh epoch only: a refresh ceremony racing the
+// signing round surfaces as a *StaleEpochError (retry with the rotated
+// key; see ThresholdSignAuto), never as a mixed-epoch combination.
 func ThresholdSign(inv Invoker, tk *bls.ThresholdKey, msg []byte) (*bls.Signature, error) {
-	req := EncodeSignRequest(msg)
+	req := EncodeSignRequest(tk.Epoch, msg)
 	shares := make([]bls.SignatureShare, 0, tk.T)
 	var lastErr error
+	var stale *StaleEpochError
 	for i := 0; i < inv.NumDomains() && len(shares) < tk.T; i++ {
 		resp, err := inv.Invoke(i, req)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		ss, err := DecodeSignResponse(resp)
+		shares, err = acceptShare(tk, shares, resp)
 		if err != nil {
 			lastErr = err
+			errors.As(err, &stale)
 			continue
 		}
-		shares = append(shares, *ss)
 		if len(shares) == tk.T && !tk.VerifyShareSignaturesBatch(msg, shares) {
 			shares, lastErr = dropInvalidShares(tk, msg, shares)
 		}
 	}
 	if len(shares) < tk.T {
+		if stale != nil {
+			return nil, fmt.Errorf("blsapp: only %d of %d required shares: %w", len(shares), tk.T, stale)
+		}
 		return nil, fmt.Errorf("blsapp: only %d of %d required shares (last error: %v)", len(shares), tk.T, lastErr)
 	}
 	return bls.CombineShares(shares, tk.T)
+}
+
+// KeySource supplies the current threshold public key; implementations
+// (KeyRing, a deployment coordinator) update it when a refresh ceremony
+// completes. It is how signing clients chase the epoch.
+type KeySource interface {
+	CurrentThresholdKey() *bls.ThresholdKey
+}
+
+// KeyRing is a trivial thread-safe KeySource.
+type KeyRing struct {
+	mu sync.RWMutex
+	tk *bls.ThresholdKey
+}
+
+// NewKeyRing creates a KeyRing holding tk.
+func NewKeyRing(tk *bls.ThresholdKey) *KeyRing { return &KeyRing{tk: tk} }
+
+// CurrentThresholdKey returns the ring's current key.
+func (r *KeyRing) CurrentThresholdKey() *bls.ThresholdKey {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.tk
+}
+
+// Update installs the key a completed refresh ceremony produced.
+func (r *KeyRing) Update(tk *bls.ThresholdKey) {
+	r.mu.Lock()
+	r.tk = tk
+	r.mu.Unlock()
+}
+
+// Retry budget for epoch chasing: generous, because a ceremony that is
+// mid-flight leaves no epoch with t signers only for the short window in
+// which it finishes.
+const (
+	epochRetryAttempts = 200
+	epochRetryDelay    = time.Millisecond
+)
+
+// retryStale runs sign (over the key source's current key) until it
+// stops failing with a stale-epoch error.
+func retryStale[T any](keys KeySource, sign func(tk *bls.ThresholdKey) (T, error)) (T, error) {
+	var zero T
+	for attempt := 0; ; attempt++ {
+		tk := keys.CurrentThresholdKey()
+		out, err := sign(tk)
+		var stale *StaleEpochError
+		if err == nil || !errors.As(err, &stale) {
+			return out, err
+		}
+		if attempt >= epochRetryAttempts {
+			return zero, fmt.Errorf("blsapp: gave up after %d epoch retries: %w", attempt, err)
+		}
+		time.Sleep(epochRetryDelay)
+	}
+}
+
+// ThresholdSignAuto is ThresholdSign with epoch chasing: a stale-epoch
+// failure re-reads the key source (which a refresh coordinator updates
+// as ceremonies complete) and retries, so callers ride through
+// proactive refreshes without ever combining mixed-epoch shares.
+func ThresholdSignAuto(inv Invoker, keys KeySource, msg []byte) (*bls.Signature, error) {
+	return retryStale(keys, func(tk *bls.ThresholdKey) (*bls.Signature, error) {
+		return ThresholdSign(inv, tk, msg)
+	})
+}
+
+// ThresholdSignBatchAuto is ThresholdSignBatch with the same epoch
+// chasing as ThresholdSignAuto.
+func ThresholdSignBatchAuto(inv Invoker, keys KeySource, msgs [][]byte) ([]*bls.Signature, error) {
+	return retryStale(keys, func(tk *bls.ThresholdKey) ([]*bls.Signature, error) {
+		return ThresholdSignBatch(inv, tk, msgs)
+	})
 }
 
 // dropInvalidShares attributes a failed batch check, keeping the valid
@@ -387,17 +675,20 @@ func dropInvalidShares(tk *bls.ThresholdKey, msg []byte, shares []bls.SignatureS
 // invoke RPCs when the deployment supports them (chunked to the
 // transport's per-frame cap), asks each additional domain only for the
 // messages still missing shares, and verifies each message's t shares in
-// one batched pairing check.
+// one batched pairing check. Like ThresholdSign it requests and accepts
+// shares only at tk's epoch; a refresh racing the batch surfaces as a
+// *StaleEpochError for the messages left short.
 func ThresholdSignBatch(inv Invoker, tk *bls.ThresholdKey, msgs [][]byte) ([]*bls.Signature, error) {
 	if len(msgs) == 0 {
 		return nil, errors.New("blsapp: empty message batch")
 	}
 	reqs := make([][]byte, len(msgs))
 	for i, m := range msgs {
-		reqs[i] = EncodeSignRequest(m)
+		reqs[i] = EncodeSignRequest(tk.Epoch, m)
 	}
 	shares := make([][]bls.SignatureShare, len(msgs))
 	var lastErr error
+	var stale *StaleEpochError
 	for i := 0; i < inv.NumDomains(); i++ {
 		// Only messages still missing shares go to this domain.
 		var pending []int
@@ -429,12 +720,12 @@ func ThresholdSignBatch(inv Invoker, tk *bls.ThresholdKey, msgs [][]byte) ([]*bl
 				lastErr = fmt.Errorf("blsapp: domain %d truncated the batch response", i)
 				continue
 			}
-			ss, err := DecodeSignResponse(resps[k])
+			shares[j], err = acceptShare(tk, shares[j], resps[k])
 			if err != nil {
 				lastErr = err
+				errors.As(err, &stale)
 				continue
 			}
-			shares[j] = append(shares[j], *ss)
 			if len(shares[j]) < tk.T {
 				continue
 			}
@@ -446,6 +737,9 @@ func ThresholdSignBatch(inv Invoker, tk *bls.ThresholdKey, msgs [][]byte) ([]*bl
 	out := make([]*bls.Signature, len(msgs))
 	for j := range msgs {
 		if len(shares[j]) < tk.T {
+			if stale != nil {
+				return nil, fmt.Errorf("blsapp: message %d collected %d of %d shares: %w", j, len(shares[j]), tk.T, stale)
+			}
 			return nil, fmt.Errorf("blsapp: message %d collected %d of %d shares (last error: %v)",
 				j, len(shares[j]), tk.T, lastErr)
 		}

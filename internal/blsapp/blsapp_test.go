@@ -11,11 +11,16 @@ import (
 
 func newAppFramework(t *testing.T, ks *bls.KeyShare) (*framework.Framework, *framework.Developer) {
 	t.Helper()
+	return newAppFrameworkState(t, NewShareState(*ks))
+}
+
+func newAppFrameworkState(t *testing.T, st *ShareState) (*framework.Framework, *framework.Developer) {
+	t.Helper()
 	dev, err := framework.NewDeveloper()
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := framework.New(dev.PublicKey(), nil, Hosts(ks))
+	f, err := framework.New(dev.PublicKey(), nil, Hosts(st))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +44,7 @@ func TestSignShareThroughSandbox(t *testing.T) {
 	}
 	f, _ := newAppFramework(t, &shares[0])
 	msg := []byte("message to sign through the sandbox")
-	resp, err := f.Invoke(EncodeSignRequest(msg))
+	resp, err := f.Invoke(EncodeSignRequest(tk.Epoch, msg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,8 +76,16 @@ func TestBadRequestsRejected(t *testing.T) {
 	if _, err := DecodeSignResponse(resp); err == nil {
 		t.Fatal("bad opcode produced a share")
 	}
-	// Too-short request.
-	resp, err = f.Invoke([]byte{1})
+	// Retired v1 framing (opcode 1, no epoch) must be rejected.
+	resp, err = f.Invoke(append([]byte{1}, []byte("legacy message")...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeSignResponse(resp); err == nil {
+		t.Fatal("retired v1 sign framing produced a share")
+	}
+	// Too-short request (header only, no message).
+	resp, err = f.Invoke(EncodeSignRequest(0, nil))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -313,12 +326,12 @@ func TestThresholdSignBatchSurvivesTruncatedResponse(t *testing.T) {
 func BenchmarkSignShareSandboxed(b *testing.B) {
 	_, shares, _ := bls.ThresholdKeyGen(2, 3)
 	dev, _ := framework.NewDeveloper()
-	f, _ := framework.New(dev.PublicKey(), nil, Hosts(&shares[0]))
+	f, _ := framework.New(dev.PublicKey(), nil, Hosts(NewShareState(shares[0])))
 	mb := ModuleBytes()
 	if err := f.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
 		b.Fatal(err)
 	}
-	req := EncodeSignRequest([]byte("table 3 message: a 32-byte-ish m"))
+	req := EncodeSignRequest(0, []byte("table 3 message: a 32-byte-ish m"))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.Invoke(req); err != nil {

@@ -40,6 +40,8 @@ const (
 	FineIsZero      = "fpm_iszero"
 	FineAddFallback = "fpm_add_fallback"
 	FineEmit        = "fpm_emit"
+	FineEpochGuard  = "fpm_epoch_guard"
+	FineEmitStale   = "fpm_emit_stale"
 )
 
 const fineModuleSrc = `
@@ -56,17 +58,30 @@ import fpm_dbl
 import fpm_iszero
 import fpm_add_fallback
 import fpm_emit
+import fpm_epoch_guard
+import fpm_emit_stale
 
 func handle params=2 locals=1 results=1
+    ; v2 sign framing only: [op=2:1][epoch:8][message >= 1 byte]
+    ; (the fine variant is the benchmarking bracket; refresh ceremonies
+    ; run against the coarse module)
     localget 1
-    push 2
+    push 10
     lts
     brif bad
     localget 0
     load8
-    push 1
+    push 2
     ne
     brif bad
+
+    ; refuse any epoch but the share's current one
+    localget 0
+    push 1
+    add
+    hostcall fpm_epoch_guard
+    eqz
+    brif stale
 
     push 1024
     hostcall fpm_share_scalar
@@ -74,10 +89,10 @@ func handle params=2 locals=1 results=1
 
     ; base = H(msg) into slots 3,4
     localget 0
-    push 1
+    push 9
     add
     localget 1
-    push 1
+    push 9
     sub
     hostcall fpm_hash_base
 
@@ -124,6 +139,11 @@ next:
 emit:
     push 69632
     hostcall fpm_emit
+    ret
+
+stale:
+    push 69632
+    hostcall fpm_emit_stale
     ret
 
 bad:
@@ -369,8 +389,8 @@ const numFpSlots = 16
 
 // FineHosts builds the host-function registry for the fine-grained
 // variant: base-field primitives over a slot table, plus the same share
-// scalar, hash and emit services as the coarse variant.
-func FineHosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
+// scalar, epoch-guard, hash and emit services as the coarse variant.
+func FineHosts(st *ShareState) map[string]*sandbox.HostFunc {
 	var mu sync.Mutex
 	var slots [numFpSlots]ff.Fp
 
@@ -411,11 +431,31 @@ func FineHosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
 		FineShareScalar: {
 			Name: FineShareScalar, Arity: 1, Results: 1, Gas: 50,
 			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				ks := st.Current()
 				b := ks.Share.Bytes()
 				if err := inst.WriteMemory(int(args[0]), b[:]); err != nil {
 					return nil, err
 				}
 				return []int64{int64(len(b))}, nil
+			},
+		},
+		FineEpochGuard: {
+			Name: FineEpochGuard, Arity: 1, Results: 1, Gas: 20,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				raw, err := inst.ReadMemory(int(args[0]), 8)
+				if err != nil {
+					return nil, err
+				}
+				if binary.BigEndian.Uint64(raw) == st.Epoch() {
+					return []int64{1}, nil
+				}
+				return []int64{0}, nil
+			},
+		},
+		FineEmitStale: {
+			Name: FineEmitStale, Arity: 1, Results: 1, Gas: 20,
+			Fn: func(inst *sandbox.Instance, args []int64) ([]int64, error) {
+				return writeMarker(inst, args[0], respStale, st.Epoch())
 			},
 		},
 		FineHashBase: {
@@ -537,10 +577,14 @@ func FineHosts(ks *bls.KeyShare) map[string]*sandbox.HostFunc {
 				acc := bls12381.G1Jac{X: slots[0], Y: slots[1], Z: slots[2]}
 				mu.Unlock()
 				aff := acc.Affine()
+				ks := st.Current()
 				out := make([]byte, 0, responseLen)
 				var idx [4]byte
 				binary.BigEndian.PutUint32(idx[:], ks.Index)
 				out = append(out, idx[:]...)
+				var ep [8]byte
+				binary.BigEndian.PutUint64(ep[:], ks.Epoch)
+				out = append(out, ep[:]...)
 				enc := aff.Bytes()
 				out = append(out, enc[:]...)
 				if err := inst.WriteMemory(int(args[0]), out); err != nil {

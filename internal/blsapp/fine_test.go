@@ -13,7 +13,7 @@ func newFineFramework(t *testing.T, ks *bls.KeyShare) *framework.Framework {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f, err := framework.New(dev.PublicKey(), nil, FineHosts(ks))
+	f, err := framework.New(dev.PublicKey(), nil, FineHosts(NewShareState(*ks)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +40,7 @@ func TestFineVariantMatchesNative(t *testing.T) {
 			[]byte("a longer message with more entropy in it"),
 			{0x00, 0xff, 0x7f},
 		} {
-			resp, err := f.Invoke(EncodeSignRequest(msg))
+			resp, err := f.Invoke(EncodeSignRequest(0, msg))
 			if err != nil {
 				t.Fatalf("round %d: %v", round, err)
 			}
@@ -80,12 +80,12 @@ func TestFineAndCoarseDigestsDiffer(t *testing.T) {
 func BenchmarkSignShareSandboxedFine(b *testing.B) {
 	_, shares, _ := bls.ThresholdKeyGen(2, 3)
 	dev, _ := framework.NewDeveloper()
-	f, _ := framework.New(dev.PublicKey(), nil, FineHosts(&shares[0]))
+	f, _ := framework.New(dev.PublicKey(), nil, FineHosts(NewShareState(shares[0])))
 	mb := FineModuleBytes()
 	if err := f.Install(1, mb, dev.SignUpdate(1, mb)); err != nil {
 		b.Fatal(err)
 	}
-	req := EncodeSignRequest([]byte("table 3 message: a 32-byte-ish m"))
+	req := EncodeSignRequest(0, []byte("table 3 message: a 32-byte-ish m"))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := f.Invoke(req); err != nil {

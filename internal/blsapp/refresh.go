@@ -1,0 +1,194 @@
+package blsapp
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/bls"
+	"repro/internal/bls12381"
+	"repro/internal/ff"
+)
+
+// Refresh ceremony wire format. The coordinator (the dealer of the
+// current epoch) sends every domain one refresh frame; the domain
+// derives its next-epoch share inside the sandbox, verifies it against
+// the frame's rotated Feldman commitment, durably installs it, and
+// acknowledges with the new epoch. The ceremony is complete only when
+// every domain has acknowledged; re-driving the same ceremony package
+// is idempotent, which is what makes a crashed coordinator recoverable.
+
+// RefreshFrame is the per-domain payload of a refresh ceremony.
+type RefreshFrame struct {
+	NewEpoch   uint64
+	CeremonyID [16]byte
+	Index      uint32
+	Delta      ff.Fr
+	// Commitment is the rotated Feldman commitment for NewEpoch; its
+	// constant term must equal the previous epoch's (the group key never
+	// moves across a refresh).
+	Commitment []bls12381.G2Affine
+}
+
+// maxRefreshCommitment bounds the commitment vector a frame may carry;
+// it is a decode-time sanity cap well above any plausible threshold.
+const maxRefreshCommitment = 255
+
+// refreshFrameFixedLen is the frame length before the commitment vector.
+const refreshFrameFixedLen = 8 + 16 + 4 + 32 + 2
+
+// Encode serializes the frame.
+func (f *RefreshFrame) Encode() []byte {
+	out := make([]byte, 0, refreshFrameFixedLen+len(f.Commitment)*bls12381.G2CompressedSize)
+	var u64 [8]byte
+	binary.BigEndian.PutUint64(u64[:], f.NewEpoch)
+	out = append(out, u64[:]...)
+	out = append(out, f.CeremonyID[:]...)
+	var u32 [4]byte
+	binary.BigEndian.PutUint32(u32[:], f.Index)
+	out = append(out, u32[:]...)
+	db := f.Delta.Bytes()
+	out = append(out, db[:]...)
+	var u16 [2]byte
+	binary.BigEndian.PutUint16(u16[:], uint16(len(f.Commitment)))
+	out = append(out, u16[:]...)
+	for i := range f.Commitment {
+		cb := f.Commitment[i].Bytes()
+		out = append(out, cb[:]...)
+	}
+	return out
+}
+
+// DecodeRefreshFrame parses and validates a refresh frame: exact
+// length, a canonical scalar, and on-curve in-subgroup commitment
+// points. It never panics on adversarial input (FuzzRefreshFrame).
+func DecodeRefreshFrame(b []byte) (*RefreshFrame, error) {
+	if len(b) < refreshFrameFixedLen {
+		return nil, fmt.Errorf("blsapp: refresh frame of %d bytes, want at least %d", len(b), refreshFrameFixedLen)
+	}
+	var f RefreshFrame
+	f.NewEpoch = binary.BigEndian.Uint64(b[:8])
+	copy(f.CeremonyID[:], b[8:24])
+	f.Index = binary.BigEndian.Uint32(b[24:28])
+	if err := f.Delta.SetBytes(b[28:60]); err != nil {
+		return nil, fmt.Errorf("blsapp: refresh frame delta: %w", err)
+	}
+	n := int(binary.BigEndian.Uint16(b[60:62]))
+	if n > maxRefreshCommitment {
+		return nil, fmt.Errorf("blsapp: refresh frame commitment of %d terms exceeds cap", n)
+	}
+	if len(b) != refreshFrameFixedLen+n*bls12381.G2CompressedSize {
+		return nil, fmt.Errorf("blsapp: refresh frame of %d bytes, want %d for %d commitment terms",
+			len(b), refreshFrameFixedLen+n*bls12381.G2CompressedSize, n)
+	}
+	f.Commitment = make([]bls12381.G2Affine, n)
+	for i := 0; i < n; i++ {
+		off := refreshFrameFixedLen + i*bls12381.G2CompressedSize
+		if err := f.Commitment[i].SetBytes(b[off : off+bls12381.G2CompressedSize]); err != nil {
+			return nil, fmt.Errorf("blsapp: refresh frame commitment term %d: %w", i, err)
+		}
+	}
+	return &f, nil
+}
+
+// RefreshRequestFor builds the application request carrying domain i's
+// frame of the ceremony (domain i holds share index i+1).
+func RefreshRequestFor(ref *bls.Refresh, domainIndex int) ([]byte, error) {
+	if domainIndex < 0 || domainIndex >= len(ref.Deltas) {
+		return nil, fmt.Errorf("blsapp: domain index %d out of range for %d-share ceremony", domainIndex, len(ref.Deltas))
+	}
+	d := ref.Deltas[domainIndex]
+	frame := RefreshFrame{
+		NewEpoch:   ref.NewEpoch,
+		CeremonyID: ref.CeremonyID,
+		Index:      d.Index,
+		Delta:      d.Delta,
+		Commitment: ref.NewKey.Commitment,
+	}
+	body := frame.Encode()
+	out := make([]byte, 0, 1+len(body))
+	out = append(out, opRefresh)
+	return append(out, body...), nil
+}
+
+// DecodeRefreshAck parses a refresh acknowledgement, returning the
+// epoch the domain reports being at.
+func DecodeRefreshAck(resp []byte) (uint64, error) {
+	if len(resp) == 0 {
+		return 0, errors.New("blsapp: domain rejected the refresh request")
+	}
+	if len(resp) != markerRespLen || resp[0] != respRefreshAck {
+		return 0, fmt.Errorf("blsapp: bad refresh acknowledgement (%d bytes)", len(resp))
+	}
+	return binary.BigEndian.Uint64(resp[1:]), nil
+}
+
+// AllInvoker is optionally satisfied by deployments with a broadcast
+// primitive that retries per-domain failures (*core.Deployment's
+// InvokeAll); ceremonies prefer it because a refresh, unlike a
+// threshold signature, needs every domain, not any t of them.
+type AllInvoker interface {
+	Invoker
+	InvokeAll(requests [][]byte, retries int) ([][]byte, error)
+}
+
+// ceremonyRetries bounds per-domain retry attempts within one
+// RunRefreshCeremony call.
+const ceremonyRetries = 3
+
+// RunRefreshCeremony drives one proactive refresh over the deployment:
+// every domain receives its frame and must acknowledge the new epoch.
+// On error the ceremony is incomplete — some domains may already have
+// moved — and the caller must re-drive it with the SAME *bls.Refresh
+// (domains acknowledge replays idempotently); generating a fresh
+// package for the same epoch would strand the domains that already
+// applied this one.
+func RunRefreshCeremony(inv Invoker, ref *bls.Refresh) error {
+	n := inv.NumDomains()
+	if n != len(ref.Deltas) {
+		return fmt.Errorf("blsapp: ceremony for %d shares driven against %d domains", len(ref.Deltas), n)
+	}
+	reqs := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		r, err := RefreshRequestFor(ref, i)
+		if err != nil {
+			return err
+		}
+		reqs[i] = r
+	}
+
+	var resps [][]byte
+	if ai, ok := inv.(AllInvoker); ok {
+		var err error
+		resps, err = ai.InvokeAll(reqs, ceremonyRetries)
+		if err != nil {
+			return fmt.Errorf("blsapp: refresh ceremony incomplete (re-drive with the same package): %w", err)
+		}
+	} else {
+		resps = make([][]byte, n)
+		for i := 0; i < n; i++ {
+			var resp []byte
+			var lastErr error
+			for a := 0; a < ceremonyRetries; a++ {
+				resp, lastErr = inv.Invoke(i, reqs[i])
+				if lastErr == nil {
+					break
+				}
+			}
+			if lastErr != nil {
+				return fmt.Errorf("blsapp: refresh ceremony incomplete at domain %d (re-drive with the same package): %w", i, lastErr)
+			}
+			resps[i] = resp
+		}
+	}
+	for i, resp := range resps {
+		epoch, err := DecodeRefreshAck(resp)
+		if err != nil {
+			return fmt.Errorf("blsapp: refresh ceremony: domain %d: %w", i, err)
+		}
+		if epoch != ref.NewEpoch {
+			return fmt.Errorf("blsapp: refresh ceremony: domain %d acknowledged epoch %d, want %d", i, epoch, ref.NewEpoch)
+		}
+	}
+	return nil
+}

@@ -32,7 +32,7 @@ func fixture(t *testing.T) (*Provider, *framework.Developer, tee.RootSet, *bls.T
 
 func TestManagedServiceLifecycle(t *testing.T) {
 	p, dev, roots, tk, shares := fixture(t)
-	svc, err := p.CreateService("prio-aggregator", dev.PublicKey(), blsapp.Hosts(&shares[0]))
+	svc, err := p.CreateService("prio-aggregator", dev.PublicKey(), blsapp.Hosts(blsapp.NewShareState(shares[0])))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestManagedServiceLifecycle(t *testing.T) {
 	}
 	// The service runs the code and clients verify both statements.
 	msg := []byte("managed signing")
-	resp, err := svc.Invoke(blsapp.EncodeSignRequest(msg))
+	resp, err := svc.Invoke(blsapp.EncodeSignRequest(0, msg))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestManagedServiceLifecycle(t *testing.T) {
 
 func TestCoAttestationTamperDetection(t *testing.T) {
 	p, dev, roots, _, shares := fixture(t)
-	svc, err := p.CreateService("svc", dev.PublicKey(), blsapp.Hosts(&shares[0]))
+	svc, err := p.CreateService("svc", dev.PublicKey(), blsapp.Hosts(blsapp.NewShareState(shares[0])))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +108,7 @@ func TestDeveloperCannotTouchMemoryButCanUpdate(t *testing.T) {
 	// Invoke/History/AttestedStatus — no memory access. A bad update is
 	// still rejected by the in-enclave framework, not by provider policy.
 	p, dev, _, _, shares := fixture(t)
-	svc, err := p.CreateService("svc", dev.PublicKey(), blsapp.Hosts(&shares[0]))
+	svc, err := p.CreateService("svc", dev.PublicKey(), blsapp.Hosts(blsapp.NewShareState(shares[0])))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,10 +127,10 @@ func TestServiceRegistry(t *testing.T) {
 	if _, err := p.CreateService("", dev.PublicKey(), nil); err == nil {
 		t.Fatal("empty id accepted")
 	}
-	if _, err := p.CreateService("a", dev.PublicKey(), blsapp.Hosts(&shares[0])); err != nil {
+	if _, err := p.CreateService("a", dev.PublicKey(), blsapp.Hosts(blsapp.NewShareState(shares[0]))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := p.CreateService("a", dev.PublicKey(), blsapp.Hosts(&shares[1])); err == nil {
+	if _, err := p.CreateService("a", dev.PublicKey(), blsapp.Hosts(blsapp.NewShareState(shares[1]))); err == nil {
 		t.Fatal("duplicate id accepted")
 	}
 	if _, err := p.Service("a"); err != nil {

@@ -195,6 +195,36 @@ func (d *Deployment) InvokeBatch(i int, requests [][]byte) ([][]byte, []string, 
 	return resp.Responses, resp.Errors, nil
 }
 
+// InvokeAll sends requests[i] to domain i for every domain in one
+// ceremony round: unlike threshold signing, where any t of n answers
+// suffice, a multi-party state transition (e.g. a proactive share
+// refresh) needs EVERY domain, so per-domain failures are retried up to
+// retries extra times and the first domain that still fails aborts the
+// call. Partial progress is expected to be safe: ceremony payloads must
+// be idempotent so an aborted round can simply be re-driven.
+func (d *Deployment) InvokeAll(requests [][]byte, retries int) ([][]byte, error) {
+	if len(requests) != len(d.domains) {
+		return nil, fmt.Errorf("core: %d ceremony requests for %d domains", len(requests), len(d.domains))
+	}
+	out := make([][]byte, len(requests))
+	for i := range requests {
+		var resp []byte
+		var err error
+		for attempt := 0; attempt <= retries; attempt++ {
+			resp, err = d.Invoke(i, requests[i])
+			if err == nil {
+				break
+			}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: ceremony request to %s failed after %d attempts: %w",
+				d.domains[i].Name(), retries+1, err)
+		}
+		out[i] = resp
+	}
+	return out, nil
+}
+
 // PushUpdate distributes a signed update to every domain (stage and
 // activate). It returns the first error but attempts all domains, so a
 // partially updated deployment — which the audit protocol will surface —

@@ -40,7 +40,7 @@ func deployBLS(t *testing.T, frozen bool) (*Deployment, *bls.ThresholdKey, *fram
 		AppModule:  blsapp.ModuleBytes(),
 		AppVersion: 1,
 		HostsFor: func(i int) map[string]*sandbox.HostFunc {
-			return blsapp.Hosts(&shares[i])
+			return blsapp.Hosts(blsapp.NewShareStateWithKey(shares[i], tk))
 		},
 		Frozen: frozen,
 	})
@@ -96,7 +96,7 @@ func TestDeployThresholdSignBatch(t *testing.T) {
 	}
 	// The raw batched invoke surface answers positionally; a request the
 	// application rejects must not poison its neighbors.
-	good := blsapp.EncodeSignRequest([]byte("ok"))
+	good := blsapp.EncodeSignRequest(0, []byte("ok"))
 	resps, errs, err := dep.InvokeBatch(1, [][]byte{good, {0xff, 0xee}, good})
 	if err != nil {
 		t.Fatal(err)

@@ -51,7 +51,7 @@ func TestTwoDomainFailuresBlockSigning(t *testing.T) {
 func TestConcurrentInvokes(t *testing.T) {
 	dep, tk, _ := deployBLS(t, false)
 	msg := []byte("concurrent message")
-	req := blsapp.EncodeSignRequest(msg)
+	req := blsapp.EncodeSignRequest(tk.Epoch, msg)
 	const workers = 6
 	var wg sync.WaitGroup
 	errs := make(chan error, workers)

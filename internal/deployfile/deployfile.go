@@ -15,6 +15,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/bls"
 	"repro/internal/bls12381"
+	"repro/internal/store"
 	"repro/internal/tee"
 )
 
@@ -34,12 +35,19 @@ type DomainEntry struct {
 	HostKey string `json:"host_key,omitempty"` // hex
 }
 
-// ThresholdEntry carries the BLS threshold public key material.
+// ThresholdEntry carries the BLS threshold public key material. Epoch
+// pins the deployment's current refresh epoch: clients sign at this
+// epoch and every proactive refresh rewrites the entry (same group key,
+// rotated share keys and commitment, epoch + 1). Commitment is the
+// Feldman commitment of the current dealing; refresh coordinators need
+// it to derive the next epoch's rotated public data.
 type ThresholdEntry struct {
-	T         int      `json:"t"`
-	N         int      `json:"n"`
-	GroupKey  string   `json:"group_key"`  // hex compressed G2
-	ShareKeys []string `json:"share_keys"` // hex compressed G2, index order
+	T          int      `json:"t"`
+	N          int      `json:"n"`
+	Epoch      uint64   `json:"epoch"`
+	GroupKey   string   `json:"group_key"`            // hex compressed G2
+	ShareKeys  []string `json:"share_keys"`           // hex compressed G2, index order
+	Commitment []string `json:"commitment,omitempty"` // hex compressed G2, degree order
 }
 
 // FromParams builds a File from audit parameters and an optional
@@ -60,15 +68,26 @@ func FromParams(p audit.Params, tk *bls.ThresholdKey) *File {
 		f.Domains = append(f.Domains, e)
 	}
 	if tk != nil {
-		gk := tk.GroupKey.Bytes()
-		te := &ThresholdEntry{T: tk.T, N: tk.N, GroupKey: hex.EncodeToString(gk[:])}
-		for i := range tk.ShareKeys {
-			sk := tk.ShareKeys[i].Bytes()
-			te.ShareKeys = append(te.ShareKeys, hex.EncodeToString(sk[:]))
-		}
-		f.Threshold = te
+		f.Threshold = ThresholdEntryFromKey(tk)
 	}
 	return f
+}
+
+// ThresholdEntryFromKey serializes a threshold public key (used both
+// for the client-facing parameters file and for a coordinator's durable
+// epoch record).
+func ThresholdEntryFromKey(tk *bls.ThresholdKey) *ThresholdEntry {
+	gk := tk.GroupKey.Bytes()
+	te := &ThresholdEntry{T: tk.T, N: tk.N, Epoch: tk.Epoch, GroupKey: hex.EncodeToString(gk[:])}
+	for i := range tk.ShareKeys {
+		sk := tk.ShareKeys[i].Bytes()
+		te.ShareKeys = append(te.ShareKeys, hex.EncodeToString(sk[:]))
+	}
+	for i := range tk.Commitment {
+		cb := tk.Commitment[i].Bytes()
+		te.Commitment = append(te.Commitment, hex.EncodeToString(cb[:]))
+	}
+	return te
 }
 
 // Params reconstructs audit parameters.
@@ -106,15 +125,20 @@ func (f *File) ThresholdKey() (*bls.ThresholdKey, error) {
 	if f.Threshold == nil {
 		return nil, nil
 	}
-	tk := &bls.ThresholdKey{T: f.Threshold.T, N: f.Threshold.N}
-	gb, err := hex.DecodeString(f.Threshold.GroupKey)
+	return f.Threshold.Key()
+}
+
+// Key reconstructs the threshold public key from the entry.
+func (te *ThresholdEntry) Key() (*bls.ThresholdKey, error) {
+	tk := &bls.ThresholdKey{T: te.T, N: te.N, Epoch: te.Epoch}
+	gb, err := hex.DecodeString(te.GroupKey)
 	if err != nil {
 		return nil, fmt.Errorf("deployfile: bad group key: %w", err)
 	}
 	if err := tk.GroupKey.SetBytes(gb); err != nil {
 		return nil, fmt.Errorf("deployfile: bad group key: %w", err)
 	}
-	for i, skHex := range f.Threshold.ShareKeys {
+	for i, skHex := range te.ShareKeys {
 		sb, err := hex.DecodeString(skHex)
 		if err != nil {
 			return nil, fmt.Errorf("deployfile: bad share key %d: %w", i, err)
@@ -128,16 +152,33 @@ func (f *File) ThresholdKey() (*bls.ThresholdKey, error) {
 	if len(tk.ShareKeys) != tk.N {
 		return nil, fmt.Errorf("deployfile: %d share keys for n=%d", len(tk.ShareKeys), tk.N)
 	}
+	for i, cHex := range te.Commitment {
+		cb, err := hex.DecodeString(cHex)
+		if err != nil {
+			return nil, fmt.Errorf("deployfile: bad commitment term %d: %w", i, err)
+		}
+		var p bls12381.G2Affine
+		if err := p.SetBytes(cb); err != nil {
+			return nil, fmt.Errorf("deployfile: bad commitment term %d: %w", i, err)
+		}
+		tk.Commitment = append(tk.Commitment, p)
+	}
+	if len(tk.Commitment) > 0 && len(tk.Commitment) != tk.T {
+		return nil, fmt.Errorf("deployfile: %d commitment terms for t=%d", len(tk.Commitment), tk.T)
+	}
 	return tk, nil
 }
 
-// Write saves the file as indented JSON.
+// Write saves the file as indented JSON, atomically: refresh
+// coordinators rewrite the parameters file at every epoch commit, and a
+// crash must leave clients either the old epoch's key or the new one,
+// never a torn file.
 func (f *File) Write(path string) error {
 	data, err := json.MarshalIndent(f, "", "  ")
 	if err != nil {
 		return fmt.Errorf("deployfile: encoding: %w", err)
 	}
-	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+	if err := store.WriteFileAtomic(path, append(data, '\n'), 0o644, true); err != nil {
 		return fmt.Errorf("deployfile: writing %s: %w", path, err)
 	}
 	return nil

@@ -87,6 +87,97 @@ func TestRoundTrip(t *testing.T) {
 			t.Fatalf("share key %d mismatch", i)
 		}
 	}
+	if gotTk.Epoch != tk.Epoch {
+		t.Fatal("epoch mismatch")
+	}
+	if len(gotTk.Commitment) != len(tk.Commitment) {
+		t.Fatal("commitment length mismatch")
+	}
+	for i := range tk.Commitment {
+		if !gotTk.Commitment[i].Equal(&tk.Commitment[i]) {
+			t.Fatalf("commitment term %d mismatch", i)
+		}
+	}
+}
+
+// TestRefreshedKeyRoundTrip: a rotated key (epoch 1) survives the file,
+// so the ceremony's commit step — rewriting the parameters file —
+// preserves everything a client needs to sign at the new epoch.
+func TestRefreshedKeyRoundTrip(t *testing.T) {
+	params, tk := testParams(t)
+	ref, err := bls.NewRefresh(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "deployment.json")
+	if err := FromParams(params, ref.NewKey).Write(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.ThresholdKey()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 1 {
+		t.Fatalf("epoch %d after round trip", got.Epoch)
+	}
+	if !got.GroupKey.Equal(&tk.GroupKey) {
+		t.Fatal("group key changed across refresh round trip")
+	}
+	// The reloaded key is refresh-capable (commitment intact).
+	if _, err := bls.NewRefresh(got); err != nil {
+		t.Fatalf("reloaded key cannot seed the next ceremony: %v", err)
+	}
+}
+
+// TestPendingRefreshRoundTrip covers the coordinator's crash file: the
+// exact ceremony package (id, epoch, secret deltas, rotated key) must
+// survive a write/read cycle, a missing file must read as "none", and
+// removal must be idempotent.
+func TestPendingRefreshRoundTrip(t *testing.T) {
+	_, tk := testParams(t)
+	ref, err := bls.NewRefresh(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "deployment.json.refresh-pending")
+
+	if none, err := ReadRefresh(path); err != nil || none != nil {
+		t.Fatalf("missing pending file: %v, %v", none, err)
+	}
+	if err := WriteRefresh(path, ref); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRefresh(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CeremonyID != ref.CeremonyID || got.NewEpoch != ref.NewEpoch {
+		t.Fatal("ceremony identity mangled")
+	}
+	if len(got.Deltas) != len(ref.Deltas) {
+		t.Fatal("delta count mismatch")
+	}
+	for i := range ref.Deltas {
+		if got.Deltas[i].Index != ref.Deltas[i].Index || !got.Deltas[i].Delta.Equal(&ref.Deltas[i].Delta) {
+			t.Fatalf("delta %d mangled", i)
+		}
+	}
+	if !got.NewKey.GroupKey.Equal(&tk.GroupKey) || got.NewKey.Epoch != ref.NewEpoch {
+		t.Fatal("rotated key mangled")
+	}
+	if err := RemoveRefresh(path); err != nil {
+		t.Fatal(err)
+	}
+	if err := RemoveRefresh(path); err != nil {
+		t.Fatalf("second removal: %v", err)
+	}
+	if none, err := ReadRefresh(path); err != nil || none != nil {
+		t.Fatal("pending file survived removal")
+	}
 }
 
 func TestNoThresholdKey(t *testing.T) {

@@ -71,7 +71,10 @@ func (b *Backup) Refresh(shares []shamir.Share) ([]shamir.Share, error) {
 	if len(shares) != b.N {
 		return nil, fmt.Errorf("keybackup: refresh needs all %d shares, have %d", b.N, len(shares))
 	}
-	return shamir.Refresh(shares, b.T)
+	// Escrow shares are authenticated; the authenticated variant
+	// re-verifies the tag after re-randomizing, so a refresh can never
+	// hand back shares that stopped authenticating.
+	return shamir.RefreshAuthenticated(shares, b.T)
 }
 
 // Adversary models an attacker for tests and examples: it records which

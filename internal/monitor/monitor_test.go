@@ -17,12 +17,17 @@ import (
 )
 
 // fixture builds an enclave-backed framework whose attested statuses can
-// be fed to the monitor, plus matching params.
+// be fed to the monitor, plus matching params. The threshold key and
+// share state of the most recent newFramework call are kept so tests
+// can interleave a proactive share refresh with monitor traffic.
 type fixture struct {
 	dev     *framework.Developer
 	enclave *tee.Enclave
 	params  audit.Params
 	mon     *Monitor
+
+	tk    *bls.ThresholdKey
+	state *blsapp.ShareState
 }
 
 func newFixture(t *testing.T) *fixture {
@@ -53,11 +58,13 @@ func newFixture(t *testing.T) *fixture {
 
 func (f *fixture) newFramework(t *testing.T, moduleBytes []byte) *framework.Framework {
 	t.Helper()
-	_, shares, err := bls.ThresholdKeyGen(2, 3)
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw, err := framework.New(f.dev.PublicKey(), f.enclave, blsapp.Hosts(&shares[0]))
+	f.tk = tk
+	f.state = blsapp.NewShareStateWithKey(shares[0], tk)
+	fw, err := framework.New(f.dev.PublicKey(), f.enclave, blsapp.Hosts(f.state))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -204,7 +211,7 @@ func TestWrongMeasurementReported(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fw, err := framework.New(imp.PublicKey(), impEnclave, blsapp.Hosts(&shares[0]))
+	fw, err := framework.New(imp.PublicKey(), impEnclave, blsapp.Hosts(blsapp.NewShareState(shares[0])))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -118,13 +118,45 @@ func TestMonitorRestartRoundTrip(t *testing.T) {
 		t.Fatal("inclusion proof failed after restart")
 	}
 
-	// Grow the log post-restart; consistency must bridge the restart.
+	// Interleave a proactive share refresh on the observed domain: the
+	// share moves to epoch 1 inside the sandbox, but the module digest,
+	// version and update log are untouched, so monitors and witnesses —
+	// and every frontier already cosigned — must be oblivious.
+	stBefore := fw.Status()
+	ref, err := bls.NewRefresh(f.tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refReq, err := blsapp.RefreshRequestFor(ref, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refResp, err := fw.Invoke(refReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep, err := blsapp.DecodeRefreshAck(refResp); err != nil || ep != 1 {
+		t.Fatalf("refresh ack: epoch %d, %v", ep, err)
+	}
+	if f.state.Epoch() != 1 {
+		t.Fatalf("domain share at epoch %d after refresh", f.state.Epoch())
+	}
+	if stAfter := fw.Status(); stAfter.Version != stBefore.Version ||
+		stAfter.CurrentDigest != stBefore.CurrentDigest || stAfter.LogLen != stBefore.LogLen {
+		t.Fatal("share refresh changed the attested framework status (monitors would see a phantom update)")
+	}
+
+	// Grow the log post-restart (now with post-refresh attestations);
+	// consistency must bridge the restart AND the refresh.
 	for _, o := range mon2.SubmitBatch([]*audit.AttestedStatusEnvelope{
 		envelope(fw, "r5"), envelope(fw, "r6"),
 	}) {
 		if o.Err != nil {
 			t.Fatal(o.Err)
 		}
+	}
+	if len(mon2.Alerts()) != 0 {
+		t.Fatalf("share refresh raised monitor alerts: %+v", mon2.Alerts())
 	}
 	head3, err := mon2.TreeHeadBLS()
 	if err != nil {

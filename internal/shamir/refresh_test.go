@@ -1,0 +1,117 @@
+package shamir
+
+import (
+	"bytes"
+	"crypto/rand"
+	"testing"
+)
+
+// Property: refreshed authenticated shares still combine to the same
+// secret, across many random secrets and (t, n) shapes.
+func TestRefreshAuthenticatedPreservesSecret(t *testing.T) {
+	shapes := []struct{ t, n int }{{1, 1}, {2, 3}, {3, 5}, {5, 5}, {4, 9}}
+	for _, shape := range shapes {
+		for trial := 0; trial < 8; trial++ {
+			secret := make([]byte, 1+trial*7)
+			if _, err := rand.Read(secret); err != nil {
+				t.Fatal(err)
+			}
+			shares, err := SplitAuthenticated(secret, shape.t, shape.n)
+			if err != nil {
+				t.Fatalf("(%d,%d): %v", shape.t, shape.n, err)
+			}
+			refreshed, err := RefreshAuthenticated(shares, shape.t)
+			if err != nil {
+				t.Fatalf("(%d,%d): refresh: %v", shape.t, shape.n, err)
+			}
+			// Any t refreshed shares reconstruct, not just the first t.
+			for start := 0; start+shape.t <= shape.n; start++ {
+				got, err := CombineAuthenticated(refreshed[start:start+shape.t], shape.t)
+				if err != nil {
+					t.Fatalf("(%d,%d) window %d: %v", shape.t, shape.n, start, err)
+				}
+				if !bytes.Equal(got, secret) {
+					t.Fatalf("(%d,%d) window %d: wrong secret", shape.t, shape.n, start)
+				}
+			}
+			// The shares themselves must have changed (t > 1: the zero
+			// sharing is non-constant with overwhelming probability).
+			if shape.t > 1 {
+				changed := false
+				for i := range shares {
+					if !bytes.Equal(shares[i].Y, refreshed[i].Y) {
+						changed = true
+					}
+				}
+				if !changed {
+					t.Fatalf("(%d,%d): refresh left every share unchanged", shape.t, shape.n)
+				}
+			}
+		}
+	}
+}
+
+// Property: a tampered refreshed share is still detected — refresh must
+// not launder corruption past the authentication tag.
+func TestRefreshAuthenticatedStillDetectsTampering(t *testing.T) {
+	secret := []byte("tag survives refresh")
+	shares, err := SplitAuthenticated(secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refreshed, err := RefreshAuthenticated(shares, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for byteIdx := 0; byteIdx < len(refreshed[0].Y); byteIdx++ {
+		bad := make([]Share, 3)
+		for i := range bad {
+			bad[i] = Share{X: refreshed[i].X, Y: append([]byte{}, refreshed[i].Y...)}
+		}
+		bad[1].Y[byteIdx] ^= 0x5a
+		if _, err := CombineAuthenticated(bad, 3); err == nil {
+			t.Fatalf("tampering refreshed share byte %d went undetected", byteIdx)
+		}
+	}
+}
+
+// Property: mixing pre-refresh and post-refresh shares is the Shamir
+// analog of the cross-epoch attack on threshold BLS — the combination
+// reconstructs garbage, and the authentication tag catches it.
+func TestRefreshAuthenticatedRejectsCrossEpochMix(t *testing.T) {
+	secret := []byte("cross-epoch mixing must fail")
+	old, err := SplitAuthenticated(secret, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := RefreshAuthenticated(old, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t-1 old shares plus one refreshed share (distinct X values).
+	mixes := [][]Share{
+		{old[0], old[1], fresh[2]},
+		{fresh[0], fresh[1], old[2]},
+		{old[0], fresh[1], fresh[2]},
+	}
+	for i, mix := range mixes {
+		got, err := CombineAuthenticated(mix, 3)
+		if err == nil && bytes.Equal(got, secret) {
+			t.Fatalf("mix %d of epochs reconstructed the secret", i)
+		}
+	}
+}
+
+// RefreshAuthenticated must refuse shares that were never a consistent
+// authenticated sharing, instead of returning unauthenticatable output.
+func TestRefreshAuthenticatedRejectsInconsistentInput(t *testing.T) {
+	secret := []byte("inconsistent input")
+	shares, err := SplitAuthenticated(secret, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares[0].Y[0] ^= 0xff
+	if _, err := RefreshAuthenticated(shares, 2); err == nil {
+		t.Fatal("refresh accepted a corrupted authenticated sharing")
+	}
+}

@@ -147,6 +147,12 @@ func CombineAuthenticated(shares []Share, t int) ([]byte, error) {
 // Refresh produces a new sharing of the same secret with fresh randomness
 // (proactive refresh): it adds a random sharing of zero to every share.
 // All n original shares must be presented so indexes stay aligned.
+//
+// Refresh is payload-oblivious: it re-randomizes every shared byte, so it
+// applies equally to plain Split shares and to SplitAuthenticated shares,
+// whose HMAC tag is part of the shared payload and is therefore carried —
+// unchanged — into the new sharing. RefreshAuthenticated makes that
+// contract explicit and self-checks it.
 func Refresh(shares []Share, t int) ([]Share, error) {
 	if len(shares) == 0 {
 		return nil, errors.New("shamir: no shares to refresh")
@@ -169,10 +175,37 @@ func Refresh(shares []Share, t int) ([]Share, error) {
 			if _, err := rand.Read(coeffs[1:]); err != nil {
 				return nil, fmt.Errorf("shamir: refresh sampling: %w", err)
 			}
+			// Same exact-degree rule as Split: a zero top coefficient
+			// would refresh with a lower-degree polynomial, adding less
+			// cross-epoch randomness than the threshold promises.
+			for coeffs[t-1] == 0 {
+				if _, err := rand.Read(coeffs[t-1 : t]); err != nil {
+					return nil, fmt.Errorf("shamir: refresh resampling: %w", err)
+				}
+			}
 		}
 		for i := range out {
 			out[i].Y[b] = gfAdd(out[i].Y[b], evalPoly(coeffs, out[i].X))
 		}
+	}
+	return out, nil
+}
+
+// RefreshAuthenticated refreshes shares produced by SplitAuthenticated.
+// The integrity tag travels inside the shared payload, so the zero-
+// sharing added by Refresh preserves it byte for byte; this wrapper
+// additionally reconstructs from the refreshed shares and re-verifies
+// the tag before returning, so a refresh can never silently hand back
+// shares that no longer authenticate. Mixing refreshed with
+// pre-refresh shares remains detectable: such a combination
+// reconstructs garbage and fails CombineAuthenticated's tag check.
+func RefreshAuthenticated(shares []Share, t int) ([]Share, error) {
+	out, err := Refresh(shares, t)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := CombineAuthenticated(out, t); err != nil {
+		return nil, fmt.Errorf("shamir: refreshed shares fail authentication (input shares were not a consistent authenticated sharing): %w", err)
 	}
 	return out, nil
 }
