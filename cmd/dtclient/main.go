@@ -51,6 +51,7 @@ import (
 	"repro/internal/bls"
 	"repro/internal/blsapp"
 	"repro/internal/deployfile"
+	"repro/internal/framework"
 	"repro/internal/gossip"
 	"repro/internal/transport"
 
@@ -142,9 +143,21 @@ func runRefresh(paramsPath string, file *deployfile.File, params audit.Params) {
 		}
 	}
 
+	// Frames must be developer-signed: load the signing seed the daemon
+	// exported next to the parameters file. Ed25519 signing is
+	// deterministic, so a re-driven ceremony reproduces identical frames.
+	seed, err := deployfile.ReadRefreshKey(paramsPath + ".refresh-key")
+	if err != nil {
+		log.Fatalf("dtclient: %v\n(refresh frames must be signed by the developer key; run a current trustdomaind to export it)", err)
+	}
+	signer, err := framework.NewDeveloperFromSeed(seed)
+	if err != nil {
+		log.Fatalf("dtclient: %v", err)
+	}
+
 	inv := &rpcInvoker{params: params}
 	defer inv.close()
-	if err := blsapp.RunRefreshCeremony(inv, ref); err != nil {
+	if err := blsapp.RunRefreshCeremony(inv, ref, signer); err != nil {
 		log.Fatalf("dtclient: %v\n(the ceremony is safe to re-run: dtclient refresh)", err)
 	}
 

@@ -36,6 +36,7 @@
 package main
 
 import (
+	"crypto/ed25519"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -92,7 +93,7 @@ func main() {
 		vendorList = append(vendorList, vendors[id])
 	}
 
-	tk, states, err := openThresholdState(*dataDir, *t, *n)
+	tk, states, err := openThresholdState(*dataDir, *t, *n, dev.PublicKey())
 	if err != nil {
 		log.Fatalf("trustdomaind: %v", err)
 	}
@@ -118,7 +119,7 @@ func main() {
 	// it (idempotently) before serving so every domain is back on one
 	// epoch and the parameters file matches.
 	if *dataDir != "" {
-		cur, err := recoverPendingCeremony(*dataDir, dep, tk, states)
+		cur, err := recoverPendingCeremony(*dataDir, dep, dev, tk, states)
 		if err != nil {
 			log.Fatalf("trustdomaind: recovering interrupted refresh: %v", err)
 		}
@@ -141,6 +142,13 @@ func main() {
 		fmt.Printf("  %-10s %-21s [%s]\n", d.Name(), d.Addr(), teeNote)
 	}
 	fmt.Printf("public parameters written to %s\n", *params)
+	// Refresh frames must be developer-signed; export the signing seed
+	// (0600) so `dtclient refresh` can coordinate ceremonies from
+	// another process. It is exactly as sensitive as the update key.
+	if err := deployfile.WriteRefreshKey(*params+".refresh-key", dev.Seed()); err != nil {
+		log.Fatalf("trustdomaind: %v", err)
+	}
+	fmt.Printf("refresh signing key written to %s (keep it 0600)\n", *params+".refresh-key")
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
@@ -148,7 +156,7 @@ func main() {
 		fmt.Printf("proactive share refresh every %v\n", *refresh)
 		go func() {
 			defer close(done)
-			runRefreshLoop(*refresh, *dataDir, *params, dep, tk, stop)
+			runRefreshLoop(*refresh, *dataDir, *params, dep, dev, tk, stop)
 		}()
 	} else {
 		close(done)
@@ -181,7 +189,7 @@ func sharePath(dataDir string, i int) string {
 // openThresholdState deals a fresh threshold key — or, with a data
 // directory that already holds one, resumes it — and returns the public
 // key plus one (durable, when dataDir is set) share state per domain.
-func openThresholdState(dataDir string, t, n int) (*bls.ThresholdKey, []*blsapp.ShareState, error) {
+func openThresholdState(dataDir string, t, n int, devKey ed25519.PublicKey) (*bls.ThresholdKey, []*blsapp.ShareState, error) {
 	if dataDir == "" {
 		tk, shares, err := bls.ThresholdKeyGen(t, n)
 		if err != nil {
@@ -189,7 +197,7 @@ func openThresholdState(dataDir string, t, n int) (*bls.ThresholdKey, []*blsapp.
 		}
 		states := make([]*blsapp.ShareState, n)
 		for i := range states {
-			states[i] = blsapp.NewShareStateWithKey(shares[i], tk)
+			states[i] = blsapp.NewShareStateWithKey(shares[i], tk, devKey)
 		}
 		return tk, states, nil
 	}
@@ -217,7 +225,7 @@ func openThresholdState(dataDir string, t, n int) (*bls.ThresholdKey, []*blsapp.
 		// threshold.json. Rebuild the current public record from the
 		// shares themselves — this daemon is the dealer and holds all n
 		// scalars — and cross-check it against the stored group key.
-		tk, states, err := resumeFromShares(dataDir, stored, t, n)
+		tk, states, err := resumeFromShares(dataDir, stored, t, n, devKey)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -232,7 +240,7 @@ func openThresholdState(dataDir string, t, n int) (*bls.ThresholdKey, []*blsapp.
 		}
 		states := make([]*blsapp.ShareState, n)
 		for i := range states {
-			states[i], err = blsapp.OpenShareState(sharePath(dataDir, i), &shares[i], tk, true)
+			states[i], err = blsapp.OpenShareState(sharePath(dataDir, i), &shares[i], tk, devKey, true)
 			if err != nil {
 				return nil, nil, err
 			}
@@ -253,13 +261,13 @@ func openThresholdState(dataDir string, t, n int) (*bls.ThresholdKey, []*blsapp.
 // convergence. The rebuilt group key must match threshold.json: a
 // mismatch means the data directory is corrupt and the daemon refuses
 // to serve.
-func resumeFromShares(dataDir string, stored *bls.ThresholdKey, t, n int) (*bls.ThresholdKey, []*blsapp.ShareState, error) {
+func resumeFromShares(dataDir string, stored *bls.ThresholdKey, t, n int, devKey ed25519.PublicKey) (*bls.ThresholdKey, []*blsapp.ShareState, error) {
 	shares := make([]bls.KeyShare, n)
 	byEpoch := map[uint64][]bls.KeyShare{}
 	for i := 0; i < n; i++ {
 		// Open without public context first; the real context is bound
 		// below once the current commitment is rebuilt.
-		st, err := blsapp.OpenShareState(sharePath(dataDir, i), nil, nil, true)
+		st, err := blsapp.OpenShareState(sharePath(dataDir, i), nil, nil, nil, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -292,7 +300,7 @@ func resumeFromShares(dataDir string, stored *bls.ThresholdKey, t, n int) (*bls.
 	}
 	states := make([]*blsapp.ShareState, n)
 	for i := range states {
-		states[i], err = blsapp.OpenShareState(sharePath(dataDir, i), nil, tk, true)
+		states[i], err = blsapp.OpenShareState(sharePath(dataDir, i), nil, tk, devKey, true)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -331,7 +339,7 @@ func writeThresholdState(dataDir string, tk *bls.ThresholdKey) error {
 // laggard domain is still one epoch behind — deleting the package then
 // would strand it forever, so the package is re-driven whenever ANY
 // domain has not reached it.
-func recoverPendingCeremony(dataDir string, dep *core.Deployment, tk *bls.ThresholdKey, states []*blsapp.ShareState) (*bls.ThresholdKey, error) {
+func recoverPendingCeremony(dataDir string, dep *core.Deployment, dev *framework.Developer, tk *bls.ThresholdKey, states []*blsapp.ShareState) (*bls.ThresholdKey, error) {
 	pending := pendingRefreshPath(dataDir)
 	ref, err := deployfile.ReadRefresh(pending)
 	if err != nil || ref == nil {
@@ -352,7 +360,7 @@ func recoverPendingCeremony(dataDir string, dep *core.Deployment, tk *bls.Thresh
 		return nil, fmt.Errorf("pending ceremony targets epoch %d but a domain is still at epoch %d", ref.NewEpoch, minEpoch)
 	}
 	log.Printf("trustdomaind: re-driving interrupted refresh ceremony to epoch %d", ref.NewEpoch)
-	if err := blsapp.RunRefreshCeremony(dep, ref); err != nil {
+	if err := blsapp.RunRefreshCeremony(dep, ref, dev); err != nil {
 		return nil, err
 	}
 	if err := writeThresholdState(dataDir, ref.NewKey); err != nil {
@@ -375,7 +383,7 @@ func recoverPendingCeremony(dataDir string, dep *core.Deployment, tk *bls.Thresh
 // are adopted before each tick so the loop never wedges on a stale
 // notion of "current". The deployment assumes a single ACTIVE
 // coordinator at a time (DESIGN.md §7).
-func runRefreshLoop(every time.Duration, dataDir, paramsPath string, dep *core.Deployment, tk *bls.ThresholdKey, stop <-chan struct{}) {
+func runRefreshLoop(every time.Duration, dataDir, paramsPath string, dep *core.Deployment, dev *framework.Developer, tk *bls.ThresholdKey, stop <-chan struct{}) {
 	ticker := time.NewTicker(every)
 	defer ticker.Stop()
 	cur := tk
@@ -430,7 +438,7 @@ func runRefreshLoop(every time.Duration, dataDir, paramsPath string, dep *core.D
 			}
 			ref = next
 		}
-		if err := blsapp.RunRefreshCeremony(dep, ref); err != nil {
+		if err := blsapp.RunRefreshCeremony(dep, ref, dev); err != nil {
 			log.Printf("trustdomaind: refresh ceremony failed (will re-drive the same package next tick): %v", err)
 			continue
 		}

@@ -200,11 +200,12 @@ func VerifyAggregate(pks []*PublicKey, msgs [][]byte, sig *Signature) bool {
 	qs := make([]bls12381.G2Affine, 0, len(pks)+1)
 	ps = append(ps, sig.p)
 	qs = append(qs, negG2)
+	hashes := bls12381.HashToG1Batch(msgs, SignatureDST)
 	for i, pk := range pks {
 		if pk == nil || pk.p.IsInfinity() {
 			return false
 		}
-		ps = append(ps, bls12381.HashToG1(msgs[i], SignatureDST))
+		ps = append(ps, hashes[i])
 		qs = append(qs, pk.p)
 	}
 	return bls12381.PairingCheck(ps, qs)
@@ -298,18 +299,19 @@ func CombineShares(shares []SignatureShare, t int) (*Signature, error) {
 		}
 		xs[i] = s.Index
 	}
-	var acc bls12381.G1Jac
-	acc.SetInfinity()
+	// Interpolation in the exponent as one multi-scalar multiplication
+	// over the Lagrange coefficients.
+	points := make([]bls12381.G1Affine, t)
+	coeffs := make([]ff.Fr, t)
 	for i, s := range use {
 		li, err := lagrangeCoefficient(i, xs)
 		if err != nil {
 			return nil, err
 		}
-		var j, term bls12381.G1Jac
-		j.FromAffine(&s.Sig.p)
-		term.ScalarMult(&j, &li)
-		acc.Add(&acc, &term)
+		points[i] = s.Sig.p
+		coeffs[i] = li
 	}
+	acc := bls12381.G1MultiScalarMult(points, coeffs)
 	a := acc.Affine()
 	return &Signature{p: a}, nil
 }

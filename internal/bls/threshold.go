@@ -100,19 +100,17 @@ func (tk *ThresholdKey) VerifyShare(ks *KeyShare) bool {
 	}
 	lhs := bls12381.G2ScalarBaseMult(&ks.Share)
 
+	// sum_j Commitment[j] * index^j as one multi-scalar multiplication
+	// over the powers of the evaluation point.
 	var x, xj ff.Fr
 	x.SetUint64(uint64(ks.Index))
 	xj.SetOne()
-	var acc bls12381.G2Jac
-	acc.SetInfinity()
-	for j := range tk.Commitment {
-		var cj bls12381.G2Jac
-		cj.FromAffine(&tk.Commitment[j])
-		var term bls12381.G2Jac
-		term.ScalarMult(&cj, &xj)
-		acc.Add(&acc, &term)
+	powers := make([]ff.Fr, len(tk.Commitment))
+	for j := range powers {
+		powers[j] = xj
 		xj.Mul(&xj, &x)
 	}
+	acc := bls12381.G2MultiScalarMult(tk.Commitment, powers)
 	rhs := acc.Affine()
 	return lhs.Equal(&rhs)
 }

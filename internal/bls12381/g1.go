@@ -2,10 +2,19 @@
 // curve: the groups G1 (over Fp) and G2 (over Fp2), hash-to-G1, point
 // compression, and the optimal ate pairing into Fp12.
 //
-// It is built entirely on repro/internal/ff and the standard library. The
-// implementation favours auditability over speed: the Miller loop uses
-// affine coordinates and the final exponentiation's hard part is a plain
-// big-integer exponentiation. It is not constant-time.
+// It is built entirely on repro/internal/ff and the standard library,
+// and carries a scalar arithmetic engine (DESIGN.md §8) on its hot
+// paths: width-5 wNAF variable-base multiplication with GLV
+// endomorphism decomposition on G1, precomputed fixed-base tables for
+// both generators, Pippenger bucket-method multi-scalar multiplication
+// (G1MultiScalarMult / G2MultiScalarMult), batch-hashed and
+// batch-normalized hash-to-curve (HashToG1Batch), and a lockstep
+// multi-pairing whose Miller loops share one Fp12 squaring chain,
+// batch-inverted line denominators, a worker pool across cores, and a
+// single final exponentiation (PairingCheck). Every fast path is
+// pinned against a retained naive reference (ScalarMultBig,
+// PairingCheckSequential, G1ClearCofactor) by equivalence and property
+// tests. It is not constant-time.
 package bls12381
 
 import (
@@ -70,14 +79,30 @@ func (p *G1Affine) IsOnCurve() bool {
 }
 
 // IsInSubgroup reports whether p is in the order-r subgroup.
+//
+// Instead of the 255-bit multiplication [r]P == inf, it checks
+// phi(P) == [lambda]P with the half-length lambda (~128 bits). The two
+// are equivalent: phi satisfies phi^2 + phi + 1 = 0 on the whole curve,
+// so phi(P) = [lambda]P forces [lambda^2+lambda+1]P = [r]P = 0 (lambda
+// was chosen with lambda^2+lambda+1 = r exactly); conversely the r-
+// torsion of E(Fp) is precisely G1 (r^2 does not divide the curve
+// order), where phi acts as lambda by construction. Equivalence against
+// the naive check is pinned by TestG1SubgroupFastMatchesNaive.
 func (p *G1Affine) IsInSubgroup() bool {
 	if !p.IsOnCurve() {
 		return false
 	}
-	var j G1Jac
-	j.FromAffine(p)
-	j.ScalarMultBig(&j, ff.FrModulus())
-	return j.IsInfinity()
+	if p.Infinity {
+		return true
+	}
+	glvOnce.Do(glvInit)
+	var base, lambdaP G1Jac
+	base.FromAffine(p)
+	g1WnafMult(&lambdaP, &base, glvLambda[:])
+	phiP := g1Phi(p)
+	var phiJac G1Jac
+	phiJac.FromAffine(&phiP)
+	return lambdaP.Equal(&phiJac)
 }
 
 // Equal reports whether p == q.
@@ -136,6 +161,9 @@ func (p *G1Jac) FromAffine(a *G1Affine) *G1Jac {
 func (p *G1Jac) Affine() G1Affine {
 	if p.IsInfinity() {
 		return G1Affine{Infinity: true}
+	}
+	if p.Z.IsOne() {
+		return G1Affine{X: p.X, Y: p.Y}
 	}
 	var zInv, zInv2, zInv3 ff.Fp
 	zInv.Inverse(&p.Z)
@@ -274,8 +302,17 @@ func (p *G1Jac) ScalarMultBig(q *G1Jac, k *big.Int) *G1Jac {
 }
 
 // ScalarMult sets p = k*q for a scalar field element k and returns p.
+// It runs the wNAF + GLV fast path (two half-length NAF loops over one
+// shared doubling chain); ScalarMultBig is the retained naive reference
+// the equivalence tests pin this against.
+//
+// q MUST be in the order-r subgroup: the GLV identity phi(q) =
+// [lambda]q holds only there, so for an on-curve point outside the
+// subgroup the result differs from ScalarMultBig. Every point this
+// package hands out (decoded via SetBytes, hashed, or derived from the
+// generator) satisfies this; raw curve points must use ScalarMultBig.
 func (p *G1Jac) ScalarMult(q *G1Jac, k *ff.Fr) *G1Jac {
-	return p.ScalarMultBig(q, k.Big())
+	return g1GLVMult(p, q, k)
 }
 
 // Equal reports whether p and q represent the same point.
@@ -284,12 +321,12 @@ func (p *G1Jac) Equal(q *G1Jac) bool {
 	return pa.Equal(&qa)
 }
 
-// G1ScalarBaseMult returns k*G for the subgroup generator G.
+// G1ScalarBaseMult returns k*G for the subgroup generator G, walking
+// the precomputed fixed-base table: at most 32 mixed additions and no
+// doublings, with no per-call generator rebuild or big.Int conversion.
 func G1ScalarBaseMult(k *ff.Fr) G1Affine {
-	gen := G1Generator()
-	var j, out G1Jac
-	j.FromAffine(&gen)
-	out.ScalarMult(&j, k)
+	var out G1Jac
+	g1FixedMult(&out, g1GenTable(), k)
 	return out.Affine()
 }
 

@@ -53,15 +53,17 @@ func (p *G2Affine) IsOnCurve() bool {
 	return lhs.Equal(&rhs)
 }
 
-// IsInSubgroup reports whether p is in the order-r subgroup.
+// IsInSubgroup reports whether p is in the order-r subgroup: [r]P must
+// be infinity, computed with the wNAF fast path (the naive reference is
+// retained in ScalarMultBig and pinned by tests).
 func (p *G2Affine) IsInSubgroup() bool {
 	if !p.IsOnCurve() {
 		return false
 	}
-	var j G2Jac
+	var j, out G2Jac
 	j.FromAffine(p)
-	j.ScalarMultBig(&j, ff.FrModulus())
-	return j.IsInfinity()
+	g2WnafMult(&out, &j, frModulusLimbs[:])
+	return out.IsInfinity()
 }
 
 // Equal reports whether p == q.
@@ -119,6 +121,9 @@ func (p *G2Jac) FromAffine(a *G2Affine) *G2Jac {
 func (p *G2Jac) Affine() G2Affine {
 	if p.IsInfinity() {
 		return G2Affine{Infinity: true}
+	}
+	if p.Z.IsOne() {
+		return G2Affine{X: p.X, Y: p.Y}
 	}
 	var zInv, zInv2, zInv3 ff.Fp2
 	zInv.Inverse(&p.Z)
@@ -248,8 +253,11 @@ func (p *G2Jac) ScalarMultBig(q *G2Jac, k *big.Int) *G2Jac {
 }
 
 // ScalarMult sets p = k*q for a scalar field element k and returns p.
+// It runs the width-5 wNAF fast path; ScalarMultBig is the retained
+// naive reference the equivalence tests pin this against.
 func (p *G2Jac) ScalarMult(q *G2Jac, k *ff.Fr) *G2Jac {
-	return p.ScalarMultBig(q, k.Big())
+	limbs := k.Canonical()
+	return g2WnafMult(p, q, limbs[:])
 }
 
 // Equal reports whether p and q represent the same point.
@@ -258,11 +266,12 @@ func (p *G2Jac) Equal(q *G2Jac) bool {
 	return pa.Equal(&qa)
 }
 
-// G2ScalarBaseMult returns k*G for the subgroup generator G of G2.
+// G2ScalarBaseMult returns k*G for the subgroup generator G of G2,
+// walking the precomputed fixed-base table: at most 32 mixed additions
+// and no doublings, with no per-call generator rebuild or big.Int
+// conversion.
 func G2ScalarBaseMult(k *ff.Fr) G2Affine {
-	gen := G2Generator()
-	var j, out G2Jac
-	j.FromAffine(&gen)
-	out.ScalarMult(&j, k)
+	var out G2Jac
+	g2FixedMult(&out, g2GenTable(), k)
 	return out.Affine()
 }

@@ -1,0 +1,239 @@
+package bls12381
+
+import (
+	"sync"
+
+	"repro/internal/ff"
+)
+
+// Fast G2 arithmetic: the Fp2 twins of g1fast.go. G2 has no cheap
+// endomorphism in this codebase (the psi map needs untwist-Frobenius
+// constants), so variable-base multiplication is plain wNAF over the
+// full scalar; the fixed-base table and Pippenger MSM mirror G1.
+
+// AddMixed sets p = a + b where b is affine (madd-2007-bl, Z2 = 1).
+func (p *G2Jac) AddMixed(a *G2Jac, b *G2Affine) *G2Jac {
+	if b.Infinity {
+		return p.Set(a)
+	}
+	if a.IsInfinity() {
+		return p.FromAffine(b)
+	}
+	var z1z1, u2, s2 ff.Fp2
+	z1z1.Square(&a.Z)
+	u2.Mul(&b.X, &z1z1)
+	s2.Mul(&b.Y, &a.Z)
+	s2.Mul(&s2, &z1z1)
+
+	if u2.Equal(&a.X) {
+		if s2.Equal(&a.Y) {
+			return p.Double(a)
+		}
+		return p.SetInfinity()
+	}
+
+	var h, hh, i, j, rr, v ff.Fp2
+	h.Sub(&u2, &a.X)
+	hh.Square(&h)
+	i.Double(&hh)
+	i.Double(&i)
+	j.Mul(&h, &i)
+	rr.Sub(&s2, &a.Y)
+	rr.Double(&rr)
+	v.Mul(&a.X, &i)
+
+	var x3, y3, z3, t ff.Fp2
+	x3.Square(&rr)
+	x3.Sub(&x3, &j)
+	x3.Sub(&x3, t.Double(&v))
+	y3.Sub(&v, &x3)
+	y3.Mul(&rr, &y3)
+	t.Mul(&a.Y, &j)
+	t.Double(&t)
+	y3.Sub(&y3, &t)
+	z3.Add(&a.Z, &h)
+	z3.Square(&z3)
+	z3.Sub(&z3, &z1z1)
+	z3.Sub(&z3, &hh)
+
+	p.X, p.Y, p.Z = x3, y3, z3
+	return p
+}
+
+// g2BatchAffine converts Jacobian points to affine with one shared Fp2
+// inversion (Montgomery's trick). Infinity entries pass through.
+func g2BatchAffine(pts []G2Jac) []G2Affine {
+	out := make([]G2Affine, len(pts))
+	prefix := make([]ff.Fp2, len(pts))
+	var acc ff.Fp2
+	acc.SetOne()
+	for i := range pts {
+		prefix[i] = acc
+		if !pts[i].IsInfinity() {
+			acc.Mul(&acc, &pts[i].Z)
+		}
+	}
+	var inv ff.Fp2
+	inv.Inverse(&acc)
+	for i := len(pts) - 1; i >= 0; i-- {
+		if pts[i].IsInfinity() {
+			out[i] = G2Affine{Infinity: true}
+			continue
+		}
+		var zInv, zInv2, zInv3 ff.Fp2
+		zInv.Mul(&inv, &prefix[i])
+		inv.Mul(&inv, &pts[i].Z)
+		zInv2.Square(&zInv)
+		zInv3.Mul(&zInv2, &zInv)
+		out[i].X.Mul(&pts[i].X, &zInv2)
+		out[i].Y.Mul(&pts[i].Y, &zInv3)
+	}
+	return out
+}
+
+// g2OddMultiples fills tbl with P, 3P, .., (2*len(tbl)-1)P.
+func g2OddMultiples(base *G2Jac, tbl []G2Jac) {
+	tbl[0] = *base
+	var twoP G2Jac
+	twoP.Double(base)
+	for i := 1; i < len(tbl); i++ {
+		tbl[i].Add(&tbl[i-1], &twoP)
+	}
+}
+
+// g2WnafMult computes k*base for a canonical little-endian limb scalar
+// with width-scalarWindow NAF digits over a Jacobian odd-multiple table.
+func g2WnafMult(p *G2Jac, base *G2Jac, k []uint64) *G2Jac {
+	if base.IsInfinity() || limbsIsZero(k) {
+		return p.SetInfinity()
+	}
+	var tbl [1 << (scalarWindow - 2)]G2Jac
+	g2OddMultiples(base, tbl[:])
+	var negEntry G2Jac
+	digits := wnafDigits(k, scalarWindow)
+	var acc G2Jac
+	acc.SetInfinity()
+	for i := len(digits) - 1; i >= 0; i-- {
+		acc.Double(&acc)
+		d := digits[i]
+		if d > 0 {
+			acc.Add(&acc, &tbl[d>>1])
+		} else if d < 0 {
+			negEntry.Neg(&tbl[(-d)>>1])
+			acc.Add(&acc, &negEntry)
+		}
+	}
+	return p.Set(&acc)
+}
+
+// g2GenTable is the lazily built fixed-base table for the G2 generator:
+// win[i][d-1] = d * 2^(8i) * G2.
+var g2GenTable = sync.OnceValue(func() [][]G2Affine {
+	gen := G2Generator()
+	return g2BuildFixedTable(&gen)
+})
+
+// g2BuildFixedTable precomputes the per-byte multiples of a base point.
+func g2BuildFixedTable(base *G2Affine) [][]G2Affine {
+	const windows = (ff.FrBytes*8 + g1FixedWindow - 1) / g1FixedWindow
+	const entries = 1<<g1FixedWindow - 1
+	flat := make([]G2Jac, windows*entries)
+	var win G2Jac
+	win.FromAffine(base)
+	for i := 0; i < windows; i++ {
+		row := flat[i*entries : (i+1)*entries]
+		row[0] = win
+		for d := 1; d < entries; d++ {
+			row[d].Add(&row[d-1], &win)
+		}
+		win = row[entries-1]
+		win.Add(&win, &flat[i*entries])
+	}
+	aff := g2BatchAffine(flat)
+	out := make([][]G2Affine, windows)
+	for i := range out {
+		out[i] = aff[i*entries : (i+1)*entries]
+	}
+	return out
+}
+
+// g2FixedMult walks a fixed-base table: one mixed addition per nonzero
+// scalar byte, zero doublings.
+func g2FixedMult(p *G2Jac, table [][]G2Affine, k *ff.Fr) *G2Jac {
+	limbs := k.Canonical()
+	var acc G2Jac
+	acc.SetInfinity()
+	for i := range table {
+		d := (limbs[i/8] >> (uint(i%8) * 8)) & 0xff
+		if d != 0 {
+			acc.AddMixed(&acc, &table[i][d-1])
+		}
+	}
+	return p.Set(&acc)
+}
+
+// G2MultiScalarMult computes sum scalars[i] * points[i] with the
+// Pippenger bucket method, equivalent to the naive sum of individual
+// multiplications. Both slices must have equal length.
+func G2MultiScalarMult(points []G2Affine, scalars []ff.Fr) G2Jac {
+	if len(points) != len(scalars) {
+		panic("bls12381: G2MultiScalarMult length mismatch")
+	}
+	var acc G2Jac
+	acc.SetInfinity()
+	n := len(points)
+	switch n {
+	case 0:
+		return acc
+	case 1:
+		var base G2Jac
+		base.FromAffine(&points[0])
+		limbs := scalars[0].Canonical()
+		g2WnafMult(&acc, &base, limbs[:])
+		return acc
+	}
+	canon := make([][4]uint64, n)
+	for i := range scalars {
+		canon[i] = scalars[i].Canonical()
+	}
+	c := msmWindow(n)
+	maxBits := scalarMaxBits(canon)
+	if maxBits == 0 {
+		return acc
+	}
+	windows := (maxBits + int(c) - 1) / int(c)
+	buckets := make([]G2Jac, 1<<c-1)
+	for w := windows - 1; w >= 0; w-- {
+		for i := 0; i < int(c); i++ {
+			acc.Double(&acc)
+		}
+		for i := range buckets {
+			buckets[i].SetInfinity()
+		}
+		shift := uint(w) * uint(c)
+		for i := 0; i < n; i++ {
+			if points[i].Infinity {
+				continue
+			}
+			limb := shift / 64
+			off := shift % 64
+			d := canon[i][limb] >> off
+			if off+c > 64 && limb+1 < 4 {
+				d |= canon[i][limb+1] << (64 - off)
+			}
+			d &= 1<<c - 1
+			if d != 0 {
+				buckets[d-1].AddMixed(&buckets[d-1], &points[i])
+			}
+		}
+		var sum, total G2Jac
+		sum.SetInfinity()
+		total.SetInfinity()
+		for b := len(buckets) - 1; b >= 0; b-- {
+			sum.Add(&sum, &buckets[b])
+			total.Add(&total, &sum)
+		}
+		acc.Add(&acc, &total)
+	}
+	return acc
+}

@@ -157,18 +157,8 @@ func Pair(p *G1Affine, q *G2Affine) ff.Fp12 {
 	return FinalExponentiation(&f)
 }
 
-// PairingCheck reports whether the product of pairings over all (Pi, Qi)
-// pairs equals one: prod e(Pi, Qi) == 1. It shares a single final
-// exponentiation across all Miller loops.
-func PairingCheck(ps []G1Affine, qs []G2Affine) bool {
-	if len(ps) != len(qs) {
-		return false
-	}
-	acc := ff.Fp12One()
-	for i := range ps {
-		f := MillerLoop(&ps[i], &qs[i])
-		acc.Mul(&acc, &f)
-	}
-	out := FinalExponentiation(&acc)
-	return out.IsOne()
-}
+// PairingCheck lives in pairing_batch.go: the Miller loops of all pairs
+// run in lockstep (shared Fp12 squaring chain, batch-inverted line
+// denominators), sharded across cores, with one shared final
+// exponentiation. PairingCheckSequential retains the naive per-pair
+// reference.

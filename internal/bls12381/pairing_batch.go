@@ -1,0 +1,232 @@
+package bls12381
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/ff"
+)
+
+// Batched multi-pairing. The naive PairingCheck ran one full Miller
+// loop per pair: every loop paid its own chain of 63 Fp12 squarings,
+// and every tangent/chord step paid a full Fp2 inversion (one Fp
+// inversion ≈ 380 field multiplications — the dominant cost of the
+// affine Miller loop). Running all pairs in lockstep over the shared
+// bit pattern of |x| fixes both at once:
+//
+//   - ONE Fp12 squaring chain serves every pair, because
+//     (prod f_i)^2 = prod f_i^2 — the accumulator squares once per
+//     iteration and each pair's line multiplies in;
+//   - the per-step denominators (2*yT for tangents, xT - xQ for
+//     chords) of all pairs are inverted together with Montgomery's
+//     batch-inversion trick: one Fp2 inversion plus 3(n-1) Fp2
+//     multiplications per step instead of n inversions.
+//
+// On top of that, PairingCheck shards the pairs across cores (each
+// worker runs its own lockstep loop) and every partial product shares
+// the single final exponentiation. The result is bit-identical to the
+// naive per-pair computation (Fp12 multiplication is commutative and
+// squaring distributes over products); TestMillerLoopBatch* and
+// TestPairingCheckMatchesNaive pin that.
+
+// batchInvertFp2 writes 1/in[i] into out[i] with one shared inversion.
+// Zero entries invert to zero (matching Fp2.Inverse), so adversarial
+// inputs degrade identically to the per-pair path instead of poisoning
+// the whole batch.
+func batchInvertFp2(in, out []ff.Fp2) {
+	var acc ff.Fp2
+	acc.SetOne()
+	for i := range in {
+		out[i] = acc
+		if !in[i].IsZero() {
+			acc.Mul(&acc, &in[i])
+		}
+	}
+	var inv ff.Fp2
+	inv.Inverse(&acc)
+	for i := len(in) - 1; i >= 0; i-- {
+		if in[i].IsZero() {
+			out[i].SetZero()
+			continue
+		}
+		out[i].Mul(&out[i], &inv)
+		inv.Mul(&inv, &in[i])
+	}
+}
+
+// millerPair is the per-pair state of the lockstep loop. The G1 point
+// enters only through c0 and xp; T walks the twist.
+type millerPair struct {
+	q  G2Affine
+	t  G2Affine
+	c0 ff.Fp2 // xi * yP, constant across steps
+	xp ff.Fp  // xP, for the degree-5 line coefficient
+}
+
+// millerStepApply finishes a tangent (q == nil) or chord step for one
+// pair given the already-inverted denominator, multiplying the line
+// value into f and advancing T.
+func (mp *millerPair) millerStepApply(f *ff.Fp12, q *G2Affine, invDen *ff.Fp2) {
+	var lambda, num ff.Fp2
+	if q == nil {
+		num.Square(&mp.t.X)
+		var three ff.Fp2
+		three.Add(&num, &num)
+		num.Add(&three, &num)
+	} else {
+		num.Sub(&mp.t.Y, &q.Y)
+	}
+	lambda.Mul(&num, invDen)
+
+	var c3, c5 ff.Fp2
+	c3.Mul(&lambda, &mp.t.X)
+	c3.Sub(&c3, &mp.t.Y)
+	c5.MulByFp(&lambda, &mp.xp)
+	c5.Neg(&c5)
+
+	var x3, y3 ff.Fp2
+	x3.Square(&lambda)
+	x3.Sub(&x3, &mp.t.X)
+	if q == nil {
+		x3.Sub(&x3, &mp.t.X)
+	} else {
+		x3.Sub(&x3, &q.X)
+	}
+	y3.Sub(&mp.t.X, &x3)
+	y3.Mul(&lambda, &y3)
+	y3.Sub(&y3, &mp.t.Y)
+	mp.t.X, mp.t.Y = x3, y3
+
+	l := lineEval(&mp.c0, &c3, &c5)
+	f.Mul(f, &l)
+}
+
+// MillerLoopBatch computes the product of Miller loop values
+// prod_i f_{|x|,Q_i}(P_i) (conjugated for the negative curve
+// parameter), sharing one Fp12 squaring chain and batch-inverting the
+// per-step denominators across pairs. Pairs with either point at
+// infinity contribute 1, exactly as MillerLoop does.
+func MillerLoopBatch(ps []G1Affine, qs []G2Affine) ff.Fp12 {
+	if len(ps) != len(qs) {
+		panic("bls12381: MillerLoopBatch length mismatch")
+	}
+	pairs := make([]millerPair, 0, len(ps))
+	xi := ff.Fp2NonResidue()
+	for i := range ps {
+		if ps[i].Infinity || qs[i].Infinity {
+			continue
+		}
+		mp := millerPair{q: qs[i], t: qs[i], xp: ps[i].X}
+		mp.c0.MulByFp(&xi, &ps[i].Y)
+		pairs = append(pairs, mp)
+	}
+	f := ff.Fp12One()
+	if len(pairs) == 0 {
+		return f
+	}
+	dens := make([]ff.Fp2, len(pairs))
+	invs := make([]ff.Fp2, len(pairs))
+
+	msb := 63
+	for msb >= 0 && (blsX>>uint(msb))&1 == 0 {
+		msb--
+	}
+	for i := msb - 1; i >= 0; i-- {
+		f.Square(&f)
+		// Tangent step for every pair: denominator 2*yT.
+		for j := range pairs {
+			dens[j].Double(&pairs[j].t.Y)
+		}
+		batchInvertFp2(dens, invs)
+		for j := range pairs {
+			pairs[j].millerStepApply(&f, nil, &invs[j])
+		}
+		if (blsX>>uint(i))&1 == 1 {
+			// Chord step through Q: denominator xT - xQ.
+			for j := range pairs {
+				dens[j].Sub(&pairs[j].t.X, &pairs[j].q.X)
+			}
+			batchInvertFp2(dens, invs)
+			for j := range pairs {
+				pairs[j].millerStepApply(&f, &pairs[j].q, &invs[j])
+			}
+		}
+	}
+	if blsXIsNegative {
+		f.Conjugate(&f)
+	}
+	return f
+}
+
+// pairingWorkers caps the Miller-loop worker pool. One worker per core,
+// never more workers than pairs.
+func pairingWorkers(pairs int) int {
+	w := runtime.GOMAXPROCS(0)
+	if w > pairs {
+		w = pairs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// PairingCheck reports whether prod e(Pi, Qi) == 1. The Miller loops
+// run as lockstep batches sharded across cores, and all partial
+// products share ONE final exponentiation. The per-pair naive path is
+// retained as PairingCheckSequential for equivalence tests and
+// ablation benchmarks.
+func PairingCheck(ps []G1Affine, qs []G2Affine) bool {
+	if len(ps) != len(qs) {
+		return false
+	}
+	n := len(ps)
+	workers := pairingWorkers(n)
+	var acc ff.Fp12
+	if workers <= 1 {
+		acc = MillerLoopBatch(ps, qs)
+	} else {
+		partials := make([]ff.Fp12, workers)
+		var wg sync.WaitGroup
+		chunk := (n + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				partials[w] = ff.Fp12One()
+				continue
+			}
+			wg.Add(1)
+			go func(w, lo, hi int) {
+				defer wg.Done()
+				partials[w] = MillerLoopBatch(ps[lo:hi], qs[lo:hi])
+			}(w, lo, hi)
+		}
+		wg.Wait()
+		acc = partials[0]
+		for w := 1; w < workers; w++ {
+			acc.Mul(&acc, &partials[w])
+		}
+	}
+	out := FinalExponentiation(&acc)
+	return out.IsOne()
+}
+
+// PairingCheckSequential is the retained naive reference: one full
+// Miller loop per pair, multiplied into a single accumulator, one final
+// exponentiation. Tests pin PairingCheck against it.
+func PairingCheckSequential(ps []G1Affine, qs []G2Affine) bool {
+	if len(ps) != len(qs) {
+		return false
+	}
+	acc := ff.Fp12One()
+	for i := range ps {
+		f := MillerLoop(&ps[i], &qs[i])
+		acc.Mul(&acc, &f)
+	}
+	out := FinalExponentiation(&acc)
+	return out.IsOne()
+}

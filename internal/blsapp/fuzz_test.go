@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/bls"
+	"repro/internal/framework"
 )
 
 // FuzzDecodeSignRequest covers the epoch-tagged (v2) sign-request
@@ -90,7 +91,11 @@ func FuzzRefreshFrame(f *testing.F) {
 	if err != nil {
 		f.Fatal(err)
 	}
-	goodReq, err := RefreshRequestFor(ref, 0)
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		f.Fatal(err)
+	}
+	goodReq, err := RefreshRequestFor(ref, 0, dev)
 	if err != nil {
 		f.Fatal(err)
 	}
@@ -109,7 +114,7 @@ func FuzzRefreshFrame(f *testing.F) {
 	// A fresh state per fuzz call would be costly; the guards under test
 	// are pure validation, so one long-lived epoch-0 state suffices (an
 	// accepted frame would mutate it and fail the invariant below).
-	st := NewShareStateWithKey(shares[0], tk)
+	st := NewShareStateWithKey(shares[0], tk, dev.PublicKey())
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		frame, err := DecodeRefreshFrame(data)

@@ -1,6 +1,7 @@
 package blsapp
 
 import (
+	"crypto/ed25519"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -28,6 +29,12 @@ type RefreshFrame struct {
 	// constant term must equal the previous epoch's (the group key never
 	// moves across a refresh).
 	Commitment []bls12381.G2Affine
+	// DevSig is the developer's ed25519 signature over the frame body
+	// (everything above, in wire encoding). The domain verifies it
+	// against its sealed developer key BEFORE Feldman-checking, so only
+	// the update-key holder — not anyone who can reach the RPC port —
+	// can drive a share rotation.
+	DevSig [ed25519.SignatureSize]byte
 }
 
 // maxRefreshCommitment bounds the commitment vector a frame may carry;
@@ -37,8 +44,10 @@ const maxRefreshCommitment = 255
 // refreshFrameFixedLen is the frame length before the commitment vector.
 const refreshFrameFixedLen = 8 + 16 + 4 + 32 + 2
 
-// Encode serializes the frame.
-func (f *RefreshFrame) Encode() []byte {
+// EncodeBody serializes the signed portion of the frame: everything
+// except the developer signature. This is the exact byte string DevSig
+// covers.
+func (f *RefreshFrame) EncodeBody() []byte {
 	out := make([]byte, 0, refreshFrameFixedLen+len(f.Commitment)*bls12381.G2CompressedSize)
 	var u64 [8]byte
 	binary.BigEndian.PutUint64(u64[:], f.NewEpoch)
@@ -59,12 +68,20 @@ func (f *RefreshFrame) Encode() []byte {
 	return out
 }
 
+// Encode serializes the frame: the signed body followed by the 64-byte
+// developer signature.
+func (f *RefreshFrame) Encode() []byte {
+	return append(f.EncodeBody(), f.DevSig[:]...)
+}
+
 // DecodeRefreshFrame parses and validates a refresh frame: exact
-// length, a canonical scalar, and on-curve in-subgroup commitment
-// points. It never panics on adversarial input (FuzzRefreshFrame).
+// length, a canonical scalar, on-curve in-subgroup commitment points,
+// and a trailing 64-byte developer signature (whose validity the share
+// state checks against its sealed key). It never panics on adversarial
+// input (FuzzRefreshFrame).
 func DecodeRefreshFrame(b []byte) (*RefreshFrame, error) {
-	if len(b) < refreshFrameFixedLen {
-		return nil, fmt.Errorf("blsapp: refresh frame of %d bytes, want at least %d", len(b), refreshFrameFixedLen)
+	if len(b) < refreshFrameFixedLen+ed25519.SignatureSize {
+		return nil, fmt.Errorf("blsapp: refresh frame of %d bytes, want at least %d", len(b), refreshFrameFixedLen+ed25519.SignatureSize)
 	}
 	var f RefreshFrame
 	f.NewEpoch = binary.BigEndian.Uint64(b[:8])
@@ -77,9 +94,9 @@ func DecodeRefreshFrame(b []byte) (*RefreshFrame, error) {
 	if n > maxRefreshCommitment {
 		return nil, fmt.Errorf("blsapp: refresh frame commitment of %d terms exceeds cap", n)
 	}
-	if len(b) != refreshFrameFixedLen+n*bls12381.G2CompressedSize {
+	if len(b) != refreshFrameFixedLen+n*bls12381.G2CompressedSize+ed25519.SignatureSize {
 		return nil, fmt.Errorf("blsapp: refresh frame of %d bytes, want %d for %d commitment terms",
-			len(b), refreshFrameFixedLen+n*bls12381.G2CompressedSize, n)
+			len(b), refreshFrameFixedLen+n*bls12381.G2CompressedSize+ed25519.SignatureSize, n)
 	}
 	f.Commitment = make([]bls12381.G2Affine, n)
 	for i := 0; i < n; i++ {
@@ -88,14 +105,26 @@ func DecodeRefreshFrame(b []byte) (*RefreshFrame, error) {
 			return nil, fmt.Errorf("blsapp: refresh frame commitment term %d: %w", i, err)
 		}
 	}
+	copy(f.DevSig[:], b[len(b)-ed25519.SignatureSize:])
 	return &f, nil
 }
 
+// RefreshSigner authenticates refresh frames; *framework.Developer
+// implements it. Ed25519 is deterministic, so re-signing the same
+// ceremony package on a crash re-drive reproduces identical frames.
+type RefreshSigner interface {
+	SignRefresh(frame []byte) []byte
+}
+
 // RefreshRequestFor builds the application request carrying domain i's
-// frame of the ceremony (domain i holds share index i+1).
-func RefreshRequestFor(ref *bls.Refresh, domainIndex int) ([]byte, error) {
+// frame of the ceremony (domain i holds share index i+1), signed by
+// the developer key the domains sealed.
+func RefreshRequestFor(ref *bls.Refresh, domainIndex int, signer RefreshSigner) ([]byte, error) {
 	if domainIndex < 0 || domainIndex >= len(ref.Deltas) {
 		return nil, fmt.Errorf("blsapp: domain index %d out of range for %d-share ceremony", domainIndex, len(ref.Deltas))
+	}
+	if signer == nil {
+		return nil, errors.New("blsapp: refresh frames must be signed by the developer key (nil signer)")
 	}
 	d := ref.Deltas[domainIndex]
 	frame := RefreshFrame{
@@ -105,6 +134,11 @@ func RefreshRequestFor(ref *bls.Refresh, domainIndex int) ([]byte, error) {
 		Delta:      d.Delta,
 		Commitment: ref.NewKey.Commitment,
 	}
+	sig := signer.SignRefresh(frame.EncodeBody())
+	if len(sig) != ed25519.SignatureSize {
+		return nil, fmt.Errorf("blsapp: refresh signer produced a %d-byte signature, want %d", len(sig), ed25519.SignatureSize)
+	}
+	copy(frame.DevSig[:], sig)
 	body := frame.Encode()
 	out := make([]byte, 0, 1+len(body))
 	out = append(out, opRefresh)
@@ -143,14 +177,14 @@ const ceremonyRetries = 3
 // (domains acknowledge replays idempotently); generating a fresh
 // package for the same epoch would strand the domains that already
 // applied this one.
-func RunRefreshCeremony(inv Invoker, ref *bls.Refresh) error {
+func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) error {
 	n := inv.NumDomains()
 	if n != len(ref.Deltas) {
 		return fmt.Errorf("blsapp: ceremony for %d shares driven against %d domains", len(ref.Deltas), n)
 	}
 	reqs := make([][]byte, n)
 	for i := 0; i < n; i++ {
-		r, err := RefreshRequestFor(ref, i)
+		r, err := RefreshRequestFor(ref, i, signer)
 		if err != nil {
 			return err
 		}

@@ -16,6 +16,7 @@ import (
 // frameworks with per-domain share states (durable when dir != "").
 type refreshFixture struct {
 	tk     *bls.ThresholdKey
+	dev    *framework.Developer // update + refresh-signing authority
 	states []*ShareState
 	inv    *memInvoker
 }
@@ -26,29 +27,29 @@ func newRefreshFixture(t testing.TB, tt, n int, dir string) *refreshFixture {
 	if err != nil {
 		t.Fatal(err)
 	}
-	f := &refreshFixture{tk: tk, inv: &memInvoker{fail: map[int]bool{}}}
-	for i := range shares {
-		var st *ShareState
-		if dir != "" {
-			st, err = OpenShareState(filepath.Join(dir, fmt.Sprintf("share-%d.json", i)), &shares[i], tk, false)
-			if err != nil {
-				t.Fatal(err)
-			}
-		} else {
-			st = NewShareStateWithKey(shares[i], tk)
-		}
-		f.states = append(f.states, st)
-		f.inv.fws = append(f.inv.fws, newStateFramework(t, st))
-	}
-	return f
-}
-
-func newStateFramework(t testing.TB, st *ShareState) *framework.Framework {
-	t.Helper()
 	dev, err := framework.NewDeveloper()
 	if err != nil {
 		t.Fatal(err)
 	}
+	f := &refreshFixture{tk: tk, dev: dev, inv: &memInvoker{fail: map[int]bool{}}}
+	for i := range shares {
+		var st *ShareState
+		if dir != "" {
+			st, err = OpenShareState(filepath.Join(dir, fmt.Sprintf("share-%d.json", i)), &shares[i], tk, dev.PublicKey(), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			st = NewShareStateWithKey(shares[i], tk, dev.PublicKey())
+		}
+		f.states = append(f.states, st)
+		f.inv.fws = append(f.inv.fws, newStateFramework(t, dev, st))
+	}
+	return f
+}
+
+func newStateFramework(t testing.TB, dev *framework.Developer, st *ShareState) *framework.Framework {
+	t.Helper()
 	fw, err := framework.New(dev.PublicKey(), nil, Hosts(st))
 	if err != nil {
 		t.Fatal(err)
@@ -60,10 +61,11 @@ func newStateFramework(t testing.TB, st *ShareState) *framework.Framework {
 	return fw
 }
 
-// mustFrame extracts domain i's decoded refresh frame from a ceremony.
-func mustFrame(t testing.TB, ref *bls.Refresh, i int) *RefreshFrame {
+// mustFrame extracts domain i's decoded (developer-signed) refresh
+// frame from a ceremony.
+func mustFrame(t testing.TB, dev *framework.Developer, ref *bls.Refresh, i int) *RefreshFrame {
 	t.Helper()
-	req, err := RefreshRequestFor(ref, i)
+	req, err := RefreshRequestFor(ref, i, dev)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,6 +74,13 @@ func mustFrame(t testing.TB, ref *bls.Refresh, i int) *RefreshFrame {
 		t.Fatal(err)
 	}
 	return frame
+}
+
+// resign refreshes a mutated frame's developer signature, so tests of
+// the inner (epoch/Feldman) guards are not short-circuited by the
+// authentication check.
+func resign(dev *framework.Developer, frame *RefreshFrame) {
+	copy(frame.DevSig[:], dev.SignRefresh(frame.EncodeBody()))
 }
 
 // TestRefreshCeremonyThroughSandboxes drives a full ceremony through
@@ -91,7 +100,7 @@ func TestRefreshCeremonyThroughSandboxes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := RunRefreshCeremony(f.inv, ref); err != nil {
+	if err := RunRefreshCeremony(f.inv, ref, f.dev); err != nil {
 		t.Fatal(err)
 	}
 	for i, st := range f.states {
@@ -125,18 +134,20 @@ func TestRefreshCeremonyThroughSandboxes(t *testing.T) {
 	}
 
 	// Replaying the completed ceremony is an idempotent ack.
-	if err := RunRefreshCeremony(f.inv, ref); err != nil {
+	if err := RunRefreshCeremony(f.inv, ref, f.dev); err != nil {
 		t.Fatalf("replaying a completed ceremony: %v", err)
 	}
 	// Rollback (stale ceremony) and epoch-skipping frames are refused.
-	rollback := mustFrame(t, ref, 0)
+	rollback := mustFrame(t, f.dev, ref, 0)
 	rollback.NewEpoch = 0
 	rollback.CeremonyID[0] ^= 0xff
+	resign(f.dev, rollback)
 	if err := f.states[0].ApplyRefresh(rollback); err == nil {
 		t.Fatal("rollback ceremony accepted")
 	}
-	skip := mustFrame(t, ref, 0)
+	skip := mustFrame(t, f.dev, ref, 0)
 	skip.NewEpoch = 3
+	resign(f.dev, skip)
 	if err := f.states[0].ApplyRefresh(skip); err == nil {
 		t.Fatal("epoch-skipping ceremony accepted")
 	}
@@ -157,7 +168,10 @@ func TestRefreshRejectsGroupKeyMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame := mustFrame(t, evil, 0)
+	// Even a frame the developer key DID sign is rejected when it moves
+	// the group key: authentication gates the Feldman check, it does not
+	// replace it.
+	frame := mustFrame(t, f.dev, evil, 0)
 	if err := f.states[0].ApplyRefresh(frame); err == nil {
 		t.Fatal("ceremony moving the group key was accepted")
 	}
@@ -167,7 +181,7 @@ func TestRefreshRejectsGroupKeyMove(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bad := mustFrame(t, good, 0)
+	bad := mustFrame(t, f.dev, good, 0)
 	var one [32]byte
 	one[31] = 1
 	var tampered = bad.Delta
@@ -175,6 +189,7 @@ func TestRefreshRejectsGroupKeyMove(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad.Delta = tampered
+	resign(f.dev, bad)
 	if err := f.states[0].ApplyRefresh(bad); err == nil {
 		t.Fatal("delta inconsistent with the commitment was accepted")
 	}
@@ -211,7 +226,7 @@ func TestConcurrentRefreshAndSignBatch(t *testing.T) {
 				errCh <- err
 				return
 			}
-			if err := RunRefreshCeremony(f.inv, ref); err != nil {
+			if err := RunRefreshCeremony(f.inv, ref, f.dev); err != nil {
 				errCh <- err
 				return
 			}
@@ -272,13 +287,17 @@ func TestShareStateCrashAtEveryOffset(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	frame := mustFrame(t, ref, 0)
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame := mustFrame(t, dev, ref, 0)
 
 	// Produce the exact before/after file images by running one domain
 	// through the refresh for real.
 	dir := t.TempDir()
 	path := filepath.Join(dir, "share.json")
-	st, err := OpenShareState(path, &shares[0], tk, false)
+	st, err := OpenShareState(path, &shares[0], tk, dev.PublicKey(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -305,7 +324,7 @@ func TestShareStateCrashAtEveryOffset(t *testing.T) {
 		if err := os.WriteFile(p+".tmp", newImage[:cut], 0o600); err != nil {
 			t.Fatal(err)
 		}
-		rec, err := OpenShareState(p, nil, tk, false)
+		rec, err := OpenShareState(p, nil, tk, dev.PublicKey(), false)
 		if err != nil {
 			t.Fatalf("cut %d: restart failed: %v", cut, err)
 		}
@@ -329,7 +348,7 @@ func TestShareStateCrashAtEveryOffset(t *testing.T) {
 	if err := os.WriteFile(p, newImage, 0o600); err != nil {
 		t.Fatal(err)
 	}
-	rec, err := OpenShareState(p, nil, tk, false)
+	rec, err := OpenShareState(p, nil, tk, dev.PublicKey(), false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -351,7 +370,7 @@ func TestShareStateCrashAtEveryOffset(t *testing.T) {
 	if err := os.WriteFile(bp, newImage[:len(newImage)/2], 0o600); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenShareState(bp, nil, tk, false); err == nil {
+	if _, err := OpenShareState(bp, nil, tk, dev.PublicKey(), false); err == nil {
 		t.Fatal("torn MAIN file opened without error")
 	}
 }
@@ -372,7 +391,7 @@ func TestCeremonyCrashMidwayRecovers(t *testing.T) {
 		}
 		// Drive the ceremony to the crash point through the sandboxes.
 		for i := 0; i < crashAfter; i++ {
-			req, err := RefreshRequestFor(ref, i)
+			req, err := RefreshRequestFor(ref, i, f.dev)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -388,7 +407,7 @@ func TestCeremonyCrashMidwayRecovers(t *testing.T) {
 		// at exactly the epoch each durably reached.
 		restarted := &memInvoker{fail: map[int]bool{}}
 		for i := 0; i < n; i++ {
-			st, err := OpenShareState(filepath.Join(dir, fmt.Sprintf("share-%d.json", i)), nil, f.tk, false)
+			st, err := OpenShareState(filepath.Join(dir, fmt.Sprintf("share-%d.json", i)), nil, f.tk, f.dev.PublicKey(), false)
 			if err != nil {
 				t.Fatalf("crashAfter=%d: restart domain %d: %v", crashAfter, i, err)
 			}
@@ -399,11 +418,11 @@ func TestCeremonyCrashMidwayRecovers(t *testing.T) {
 			if st.Epoch() != wantEpoch {
 				t.Fatalf("crashAfter=%d: domain %d restarted at epoch %d, want %d", crashAfter, i, st.Epoch(), wantEpoch)
 			}
-			restarted.fws = append(restarted.fws, newStateFramework(t, st))
+			restarted.fws = append(restarted.fws, newStateFramework(t, f.dev, st))
 		}
 		// Re-drive the SAME package: already-moved domains ack
 		// idempotently, the rest catch up.
-		if err := RunRefreshCeremony(restarted, ref); err != nil {
+		if err := RunRefreshCeremony(restarted, ref, f.dev); err != nil {
 			t.Fatalf("crashAfter=%d: re-drive: %v", crashAfter, err)
 		}
 		msg := []byte("signed after crash recovery")
@@ -435,9 +454,77 @@ func BenchmarkRefreshCeremony(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := RunRefreshCeremony(f.inv, ref); err != nil {
+		if err := RunRefreshCeremony(f.inv, ref, f.dev); err != nil {
 			b.Fatal(err)
 		}
 		cur = ref.NewKey
+	}
+}
+
+// TestRefreshFrameAuthentication: the op=3 package must be signed by
+// the developer key the domain sealed, and the signature must cover
+// every byte of the frame body — an unsigned frame, a frame signed by
+// any other key, and a signed-then-tampered frame are all rejected
+// BEFORE the Feldman machinery runs, leaving the epoch untouched.
+func TestRefreshFrameAuthentication(t *testing.T) {
+	f := newRefreshFixture(t, 2, 3, "")
+	ref, err := bls.NewRefresh(f.tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Unsigned (zero signature).
+	unsigned := mustFrame(t, f.dev, ref, 0)
+	unsigned.DevSig = [64]byte{}
+	if err := f.states[0].ApplyRefresh(unsigned); err == nil {
+		t.Fatal("unsigned refresh frame accepted")
+	}
+
+	// Signed by a different (attacker) key — an otherwise perfectly
+	// valid ceremony package.
+	mallory, err := framework.NewDeveloper()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrongKey := mustFrame(t, mallory, ref, 0)
+	if err := f.states[0].ApplyRefresh(wrongKey); err == nil {
+		t.Fatal("refresh frame signed by a non-developer key accepted")
+	}
+
+	// Genuine signature, then a one-bit tamper of the delta: the
+	// signature check must catch it (the Feldman check would too, but
+	// authentication fails first and cheaper).
+	tampered := mustFrame(t, f.dev, ref, 0)
+	var delta [32]byte
+	db := tampered.Delta.Bytes()
+	copy(delta[:], db[:])
+	delta[31] ^= 0x01
+	if err := tampered.Delta.SetBytes(delta[:]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.states[0].ApplyRefresh(tampered); err == nil {
+		t.Fatal("tampered refresh frame accepted")
+	}
+
+	// A state with no bound authority refuses even genuine frames.
+	_, shares2, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orphan := NewShareStateWithKey(shares2[0], f.tk, nil)
+	if err := orphan.ApplyRefresh(mustFrame(t, f.dev, ref, 0)); err == nil {
+		t.Fatal("state without a refresh authority accepted a frame")
+	}
+
+	if f.states[0].Epoch() != 0 {
+		t.Fatal("rejected frames moved the epoch")
+	}
+
+	// The genuine signed frame still applies.
+	if err := f.states[0].ApplyRefresh(mustFrame(t, f.dev, ref, 0)); err != nil {
+		t.Fatalf("genuine signed frame rejected: %v", err)
+	}
+	if f.states[0].Epoch() != 1 {
+		t.Fatal("genuine frame did not advance the epoch")
 	}
 }

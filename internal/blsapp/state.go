@@ -1,6 +1,7 @@
 package blsapp
 
 import (
+	"crypto/ed25519"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"repro/internal/bls"
 	"repro/internal/bls12381"
 	"repro/internal/ff"
+	"repro/internal/framework"
 	"repro/internal/store"
 )
 
@@ -31,6 +33,12 @@ type ShareState struct {
 	t, n   int
 	commit []bls12381.G2Affine
 
+	// devKey is the developer (update) public key the domain sealed;
+	// refresh frames must carry a valid developer signature over their
+	// body before any cryptographic validation happens. Refresh-capable
+	// states without a bound key refuse all refreshes.
+	devKey ed25519.PublicKey
+
 	// lastCID identifies the ceremony that produced the current epoch,
 	// so a coordinator retrying a ceremony the domain already applied is
 	// acknowledged idempotently instead of corrupting the share.
@@ -47,11 +55,13 @@ func NewShareState(ks bls.KeyShare) *ShareState {
 }
 
 // NewShareStateWithKey wraps a key share together with the deployment's
-// public threshold key (which must carry the Feldman commitment), which
-// is what lets the domain verify refresh frames before applying them.
-func NewShareStateWithKey(ks bls.KeyShare, tk *bls.ThresholdKey) *ShareState {
+// public threshold key (which must carry the Feldman commitment) and
+// the sealed developer key, which together let the domain authenticate
+// and verify refresh frames before applying them.
+func NewShareStateWithKey(ks bls.KeyShare, tk *bls.ThresholdKey, devKey ed25519.PublicKey) *ShareState {
 	st := &ShareState{ks: ks, t: tk.T, n: tk.N}
 	st.commit = append([]bls12381.G2Affine{}, tk.Commitment...)
+	st.devKey = append(ed25519.PublicKey{}, devKey...)
 	return st
 }
 
@@ -68,14 +78,17 @@ type shareFileJSON struct {
 // resumes at the epoch it had durably reached — and initial (which may
 // be nil on restart) is only consulted for a consistency check on the
 // share index. A missing file is created from initial. tk provides the
-// public dealing context and may be nil for sign-only states. Files are
-// written 0600: the share is the domain's long-term secret.
-func OpenShareState(path string, initial *bls.KeyShare, tk *bls.ThresholdKey, fsync bool) (*ShareState, error) {
+// public dealing context and may be nil for sign-only states; devKey is
+// the sealed developer key refresh frames must be signed by (nil makes
+// the state refuse refreshes). Files are written 0600: the share is the
+// domain's long-term secret.
+func OpenShareState(path string, initial *bls.KeyShare, tk *bls.ThresholdKey, devKey ed25519.PublicKey, fsync bool) (*ShareState, error) {
 	st := &ShareState{path: path, fsync: fsync}
 	if tk != nil {
 		st.t, st.n = tk.T, tk.N
 		st.commit = append([]bls12381.G2Affine{}, tk.Commitment...)
 	}
+	st.devKey = append(ed25519.PublicKey{}, devKey...)
 	data, err := os.ReadFile(path)
 	switch {
 	case err == nil:
@@ -162,6 +175,17 @@ func (st *ShareState) ApplyRefresh(f *RefreshFrame) error {
 	defer st.mu.Unlock()
 	if f.Index != st.ks.Index {
 		return fmt.Errorf("blsapp: refresh frame for share %d, this domain holds share %d", f.Index, st.ks.Index)
+	}
+	// Authentication first: before the frame's contents get anywhere
+	// near the Feldman machinery, it must carry the developer's
+	// signature over its body. Without this anyone who could reach the
+	// RPC port could rotate shares (and a t-subset of rotated-by-the-
+	// attacker domains races the honest epoch).
+	if len(st.devKey) == 0 {
+		return errors.New("blsapp: refresh rejected: domain has no refresh authority key bound")
+	}
+	if !framework.VerifyRefresh(st.devKey, f.EncodeBody(), f.DevSig[:]) {
+		return errors.New("blsapp: refresh frame is not signed by the developer key (rejected)")
 	}
 	if f.NewEpoch == st.ks.Epoch && f.CeremonyID == st.lastCID {
 		return nil // idempotent replay of the ceremony that got us here

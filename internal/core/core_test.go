@@ -40,7 +40,7 @@ func deployBLS(t *testing.T, frozen bool) (*Deployment, *bls.ThresholdKey, *fram
 		AppModule:  blsapp.ModuleBytes(),
 		AppVersion: 1,
 		HostsFor: func(i int) map[string]*sandbox.HostFunc {
-			return blsapp.Hosts(blsapp.NewShareStateWithKey(shares[i], tk))
+			return blsapp.Hosts(blsapp.NewShareStateWithKey(shares[i], tk, dev.PublicKey()))
 		},
 		Frozen: frozen,
 	})

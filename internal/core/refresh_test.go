@@ -15,7 +15,7 @@ import (
 // epoch goes stale on every domain, the new epoch signs (singly and
 // batched) under the unchanged group key, and a second ceremony chains.
 func TestRefreshCeremonyOverDeployment(t *testing.T) {
-	dep, tk, _ := deployBLS(t, false)
+	dep, tk, dev := deployBLS(t, false)
 	msg := []byte("epoch contract over sockets")
 	sig0, err := blsapp.ThresholdSign(dep, tk, msg)
 	if err != nil {
@@ -28,12 +28,12 @@ func TestRefreshCeremonyOverDeployment(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if err := blsapp.RunRefreshCeremony(dep, ref); err != nil {
+		if err := blsapp.RunRefreshCeremony(dep, ref, dev); err != nil {
 			t.Fatalf("round %d: %v", round, err)
 		}
 		// The deployment satisfies AllInvoker, so the ceremony used
 		// InvokeAll; replay must still be an idempotent ack.
-		if err := blsapp.RunRefreshCeremony(dep, ref); err != nil {
+		if err := blsapp.RunRefreshCeremony(dep, ref, dev); err != nil {
 			t.Fatalf("round %d replay: %v", round, err)
 		}
 		cur = ref.NewKey
@@ -76,7 +76,7 @@ func TestRefreshCeremonyOverDeployment(t *testing.T) {
 // not partially succeed — when any domain is unreachable, and must
 // reject ragged request lists.
 func TestInvokeAllDemandsEveryDomain(t *testing.T) {
-	dep, tk, _ := deployBLS(t, false)
+	dep, tk, dev := deployBLS(t, false)
 	ref, err := bls.NewRefresh(tk)
 	if err != nil {
 		t.Fatal(err)
@@ -85,7 +85,7 @@ func TestInvokeAllDemandsEveryDomain(t *testing.T) {
 		t.Fatal("ragged request list accepted")
 	}
 	dep.Domain(2).Close()
-	if err := blsapp.RunRefreshCeremony(dep, ref); err == nil {
+	if err := blsapp.RunRefreshCeremony(dep, ref, dev); err == nil {
 		t.Fatal("ceremony succeeded with an unreachable domain")
 	}
 	// The abort left mixed epochs (domains 0 and 1 moved before the

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bls"
 	"repro/internal/ff"
@@ -26,6 +27,37 @@ import (
 // The deltas link consecutive epochs (delta knowledge lets an attacker
 // convert epoch-e shares into epoch-e+1 shares), so the file is written
 // 0600 and removed at commit.
+
+// Refresh authority key file. Refresh frames must be signed by the
+// deployment's developer (update) key; in the single-machine demo the
+// daemon exports the signing seed to a 0600 file next to the parameters
+// so an out-of-process coordinator (dtclient refresh) can sign the
+// frames it drives. A real deployment would keep this seed wherever the
+// module-release key lives — it is exactly as sensitive.
+
+// WriteRefreshKey durably records the developer signing seed (atomic
+// replace, 0600).
+func WriteRefreshKey(path string, seed []byte) error {
+	data := hex.EncodeToString(seed) + "\n"
+	if err := store.WriteFileAtomic(path, []byte(data), 0o600, true); err != nil {
+		return fmt.Errorf("deployfile: writing refresh key %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadRefreshKey loads the developer signing seed written by
+// WriteRefreshKey.
+func ReadRefreshKey(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("deployfile: reading refresh key %s: %w", path, err)
+	}
+	seed, err := hex.DecodeString(strings.TrimSpace(string(data)))
+	if err != nil {
+		return nil, fmt.Errorf("deployfile: refresh key %s is corrupt: %w", path, err)
+	}
+	return seed, nil
+}
 
 // RefreshFile is the on-disk pending-ceremony format.
 type RefreshFile struct {

@@ -248,8 +248,8 @@ func fpReduce(t *Fp) {
 	}
 }
 
-// fpMontMul sets z = a*b*R^-1 mod p (CIOS Montgomery multiplication).
-func fpMontMul(z, a, b *Fp) {
+// fpMontMulGeneric sets z = a*b*R^-1 mod p (CIOS Montgomery multiplication).
+func fpMontMulGeneric(z, a, b *Fp) {
 	var t [fpLimbs + 2]uint64
 	for i := 0; i < fpLimbs; i++ {
 		// t += a * b[i]

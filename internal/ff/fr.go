@@ -109,6 +109,14 @@ func (z *Fr) SetBytesWide(in []byte) *Fr {
 	return z.SetBig(new(big.Int).SetBytes(in))
 }
 
+// Canonical returns the canonical (non-Montgomery) value of z as four
+// little-endian limbs. This is the representation the curve layer's
+// wNAF recoding and Pippenger digit extraction consume: one Montgomery
+// reduction, no big.Int allocation.
+func (z *Fr) Canonical() [frLimbs]uint64 {
+	return z.fromMont()
+}
+
 // Bytes returns the canonical 32-byte big-endian encoding of z.
 func (z *Fr) Bytes() [FrBytes]byte {
 	var out [FrBytes]byte
@@ -210,8 +218,8 @@ func frReduce(t *Fr) {
 	}
 }
 
-// frMontMul sets z = a*b*R^-1 mod r (CIOS Montgomery multiplication).
-func frMontMul(z, a, b *Fr) {
+// frMontMulGeneric sets z = a*b*R^-1 mod r (CIOS Montgomery multiplication).
+func frMontMulGeneric(z, a, b *Fr) {
 	var t [frLimbs + 2]uint64
 	for i := 0; i < frLimbs; i++ {
 		var carry uint64

@@ -22,6 +22,53 @@ func NewDeveloper() (*Developer, error) {
 	return &Developer{priv: priv, pub: pub}, nil
 }
 
+// NewDeveloperFromSeed reconstructs a developer identity from its
+// 32-byte ed25519 seed — how an out-of-process refresh coordinator
+// (dtclient) loads the signing half the deployment exported for it.
+func NewDeveloperFromSeed(seed []byte) (*Developer, error) {
+	if len(seed) != ed25519.SeedSize {
+		return nil, fmt.Errorf("framework: developer seed must be %d bytes, got %d", ed25519.SeedSize, len(seed))
+	}
+	priv := ed25519.NewKeyFromSeed(seed)
+	return &Developer{priv: priv, pub: priv.Public().(ed25519.PublicKey)}, nil
+}
+
+// Seed returns the developer key's 32-byte ed25519 seed. Handle like
+// the private key it is.
+func (d *Developer) Seed() []byte {
+	return append([]byte{}, d.priv.Seed()...)
+}
+
+// refreshPrefix domain-separates refresh-frame signatures from module
+// update signatures under the same developer key.
+var refreshPrefix = []byte("tee-framework-refresh-v1")
+
+// refreshMessage is the canonical byte string a refresh-frame
+// signature covers.
+func refreshMessage(frame []byte) []byte {
+	out := make([]byte, 0, len(refreshPrefix)+len(frame))
+	out = append(out, refreshPrefix...)
+	return append(out, frame...)
+}
+
+// SignRefresh signs the canonical encoding of a share-refresh frame.
+// Trust domains verify this signature inside the sandbox boundary
+// before Feldman-checking the frame, so only the holder of the update
+// signing key — not anyone who can reach the RPC port — can rotate the
+// deployment's shares.
+func (d *Developer) SignRefresh(frame []byte) []byte {
+	return ed25519.Sign(d.priv, refreshMessage(frame))
+}
+
+// VerifyRefresh checks a refresh-frame signature against the developer
+// public key the domain sealed.
+func VerifyRefresh(pub ed25519.PublicKey, frame, sig []byte) bool {
+	if len(pub) != ed25519.PublicKeySize || len(sig) != ed25519.SignatureSize {
+		return false
+	}
+	return ed25519.Verify(pub, refreshMessage(frame), sig)
+}
+
 // PublicKey returns the update-verification key that trust domains seal.
 func (d *Developer) PublicKey() ed25519.PublicKey {
 	return append(ed25519.PublicKey{}, d.pub...)

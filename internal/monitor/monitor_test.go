@@ -63,7 +63,7 @@ func (f *fixture) newFramework(t *testing.T, moduleBytes []byte) *framework.Fram
 		t.Fatal(err)
 	}
 	f.tk = tk
-	f.state = blsapp.NewShareStateWithKey(shares[0], tk)
+	f.state = blsapp.NewShareStateWithKey(shares[0], tk, f.dev.PublicKey())
 	fw, err := framework.New(f.dev.PublicKey(), f.enclave, blsapp.Hosts(f.state))
 	if err != nil {
 		t.Fatal(err)

@@ -127,7 +127,7 @@ func TestMonitorRestartRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	refReq, err := blsapp.RefreshRequestFor(ref, 0)
+	refReq, err := blsapp.RefreshRequestFor(ref, 0, f.dev)
 	if err != nil {
 		t.Fatal(err)
 	}
