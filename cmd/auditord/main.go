@@ -21,6 +21,16 @@
 //	pull         {}             -> fetch head+consistency from every source
 //	round        {}             -> pull, then gossip with every peer
 //	proofs       {}             -> all equivocation proofs held
+//	subscribe    {from?}        -> register this connection for pushes of
+//	                               the witness's cosigned frontier (one
+//	                               "_batch" frame of push_heads per flush)
+//	unsubscribe  {}             -> deregister the connection
+//
+// With -subscribe the witness additionally opens a push channel TO each
+// source: monitors push each new BLS-signed head the moment it exists,
+// the witness verifies consistency and cosigns immediately, and its own
+// subscribers receive the refreshed cosigned frontier — split-view
+// detection latency drops from a polling interval to one push hop.
 //
 // Source and peer keys are fetched at startup (trust-on-first-use for the
 // demo; a production deployment pins them in configuration).
@@ -35,12 +45,14 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"repro/internal/aolog"
 	"repro/internal/bls"
 	"repro/internal/gossip"
+	"repro/internal/serve"
 	"repro/internal/transport"
 )
 
@@ -75,8 +87,9 @@ func main() {
 		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
 		sources  = flag.String("sources", "", "comma-separated name=addr monitor list")
 		peers    = flag.String("peers", "", "comma-separated peer witness addresses")
-		dataDir  = flag.String("data", "", "durable storage directory; empty runs in-memory (cosigning key and evidence are lost on exit)")
-		interval = flag.Duration("interval", 0, "automatic pull+gossip period (0 = RPC-driven only)")
+		dataDir   = flag.String("data", "", "durable storage directory; empty runs in-memory (cosigning key and evidence are lost on exit)")
+		interval  = flag.Duration("interval", 0, "automatic pull+gossip period (0 = RPC-driven only)")
+		subscribe = flag.Bool("subscribe", false, "subscribe to head pushes from every source instead of relying on polling alone")
 	)
 	flag.Parse()
 	if *sources == "" {
@@ -170,10 +183,17 @@ func main() {
 		return errs
 	}
 
+	// hub pushes this witness's cosigned frontier to its own subscribers
+	// (downstream clients and witnesses) whenever the frontier advances.
+	hub := serve.NewHub(*name)
+	defer hub.Close()
+	publishFrontier := func() { hub.Publish(w.FrontierHeads()) }
+
 	srv := transport.NewServer()
 	w.Register(srv)
 	srv.Handle("pull", func(json.RawMessage) (any, error) {
 		errs := pull()
+		publishFrontier()
 		return pullResponse{Heads: w.FrontierHeads(), Errors: errs}, nil
 	})
 	srv.Handle("round", func(json.RawMessage) (any, error) {
@@ -182,11 +202,24 @@ func main() {
 		if err != nil {
 			return nil, err
 		}
+		publishFrontier()
 		return roundResponse{RoundSummary: *sum, PullErrors: errs}, nil
 	})
 	srv.Handle("proofs", func(json.RawMessage) (any, error) {
 		return w.Proofs(), nil
 	})
+	serve.RegisterHub(srv, hub, w.FrontierHeads)
+
+	// With -subscribe, open a push channel from every source: pushed
+	// heads are verified+cosigned the moment they arrive, and the
+	// refreshed frontier is pushed onward to this witness's subscribers.
+	if *subscribe {
+		for _, sc := range srcs {
+			if err := subscribeSource(w, sc, publishFrontier); err != nil {
+				log.Fatalf("auditord: subscribing to %s: %v", sc.name, err)
+			}
+		}
+	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
@@ -197,6 +230,10 @@ func main() {
 	fmt.Printf("auditord: witness %q on %s, watching %d sources, %d peers\n",
 		*name, ln.Addr(), len(srcs), len(peerConns))
 	fmt.Printf("auditord: cosigning key %x\n", kb[:])
+
+	if *subscribe {
+		fmt.Printf("auditord: subscribed to %d sources for head pushes\n", len(srcs))
+	}
 
 	if *interval > 0 {
 		ticker := time.NewTicker(*interval)
@@ -209,6 +246,7 @@ func main() {
 				} else if sum.NewProofs > 0 {
 					log.Printf("auditord: ALERT: %d new equivocation proofs", sum.NewProofs)
 				}
+				publishFrontier()
 			}
 		}()
 	}
@@ -225,6 +263,76 @@ func main() {
 	if *dataDir != "" {
 		fmt.Printf("auditord: journal flushed to %s\n", *dataDir)
 	}
+}
+
+// subscribeSource opens a dedicated push connection to one source (the
+// polling connection stays synchronous request/response) and processes
+// pushed heads off the read loop: a mailbox keeps only the latest pushed
+// head per source, a worker fetches the consistency proof bridging the
+// witness's frontier (over the same subscribed connection, pinned to the
+// pushed size so a growing log cannot outrun it), ingests, and publishes
+// the refreshed cosigned frontier onward. A dead push channel is logged
+// and abandoned — the polling path keeps the witness correct.
+func subscribeSource(w *gossip.Witness, sc *sourceConn, publish func()) error {
+	conn, err := net.Dial("tcp", sc.addr)
+	if err != nil {
+		return err
+	}
+	sub := serve.NewSubscriber(conn)
+
+	var mu sync.Mutex
+	var latest *gossip.GossipHead
+	kick := make(chan struct{}, 1)
+	sub.OnHeads = func(_ string, heads []gossip.GossipHead) {
+		// Read-loop context: park the newest head and return. Calling
+		// sub.Call here would deadlock (the response needs this loop).
+		mu.Lock()
+		latest = &heads[len(heads)-1]
+		mu.Unlock()
+		select {
+		case kick <- struct{}{}:
+		default:
+		}
+	}
+	go func() {
+		for {
+			select {
+			case <-sub.Done():
+				log.Printf("auditord: push channel to %s closed: %v (polling continues)", sc.name, sub.Err())
+				return
+			case <-kick:
+			}
+			mu.Lock()
+			gh := latest
+			latest = nil
+			mu.Unlock()
+			if gh == nil {
+				continue
+			}
+			var cons *aolog.ShardConsistencyProof
+			if front, ok := w.Frontier(sc.name); ok && gh.Head.Size > front.Size {
+				cons = new(aolog.ShardConsistencyProof)
+				req := struct {
+					OldSize int `json:"old_size"`
+					NewSize int `json:"new_size"`
+				}{OldSize: int(front.Size), NewSize: int(gh.Head.Size)}
+				if err := sub.Call("consistency", req, cons); err != nil {
+					log.Printf("auditord: consistency for pushed %s head: %v", sc.name, err)
+					continue
+				}
+			}
+			res := w.Ingest(sc.name, gh.Head, cons)
+			if res.Err != nil {
+				log.Printf("auditord: ingesting pushed %s head: %v", sc.name, res.Err)
+				continue
+			}
+			if res.Proof != nil {
+				log.Printf("auditord: ALERT: source %s convicted of equivocation", sc.name)
+			}
+			publish()
+		}
+	}()
+	return sub.Subscribe(w.Name())
 }
 
 // pullSource fetches the source's current BLS head, plus a consistency

@@ -29,6 +29,22 @@
 //	                                 key or a -slashable pinned key are
 //	                                 accepted, replays are idempotent
 //
+// With -subscribe (the default) the serving tier (internal/serve) fronts
+// the read path: head/headbls/consistency are answered from a proof
+// cache with single-flight coalescing, heads are signed once per log
+// size instead of once per request, and three kinds are added:
+//
+//	proof       {index, size?}    -> cached inclusion proof plus the
+//	                                 current signed head; under overload
+//	                                 degrades to the last stale-but-
+//	                                 verified head (overloaded: true)
+//	subscribe   {from?}           -> registers this connection for pushed
+//	                                 heads: each new BLS-signed head
+//	                                 arrives as one server-initiated
+//	                                 "_batch" frame of push_heads calls
+//	unsubscribe {}                -> deregisters the connection
+//	servestats  {}                -> cache/admission/push counters
+//
 // The server also accepts transport-level "_batch" frames bundling any of
 // the above, so gossiping clients pay one round trip per flush. The public
 // log stripes across -shards sub-logs; tree heads commit to the sharded
@@ -55,6 +71,7 @@ import (
 	"repro/internal/deployfile"
 	"repro/internal/gossip"
 	"repro/internal/monitor"
+	"repro/internal/serve"
 	"repro/internal/transport"
 )
 
@@ -67,6 +84,7 @@ func main() {
 		name       = flag.String("name", "monitor", "this monitor's name in gossip deployments")
 		dataDir    = flag.String("data", "", "durable storage directory; empty runs in-memory (log and keys are lost on exit)")
 		slashable  = flag.String("slashable", "", "comma-separated hex BLS keys of peer monitors whose equivocation proofs this monitor records")
+		subscribe  = flag.Bool("subscribe", true, "serve reads through the caching tier and push new heads to subscribed connections")
 	)
 	flag.Parse()
 
@@ -220,6 +238,21 @@ func main() {
 		return out, nil
 	})
 
+	// The serving tier rebinds head/headbls/consistency to the cached
+	// paths and adds proof/subscribe/unsubscribe/servestats. Appends kick
+	// the tier's publisher, which signs the new head once and pushes it
+	// to every subscriber.
+	var tier *serve.Tier
+	if *subscribe {
+		pkb := mon.BLSPublicKey().Bytes()
+		tier, err = serve.Attach(mon, serve.Options{Source: *name, SourcePK: pkb[:]})
+		if err != nil {
+			log.Fatalf("monitord: serving tier: %v", err)
+		}
+		mon.SetAppendHook(tier.Kick)
+		tier.Register(srv)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatalf("monitord: listen: %v", err)
@@ -227,6 +260,9 @@ func main() {
 	srv.Serve(ln)
 	fmt.Printf("monitord: watching %d domains, serving on %s (%d log shards)\n",
 		len(params.Domains), ln.Addr(), *shards)
+	if tier != nil {
+		fmt.Println("monitord: caching serve tier enabled (proof/subscribe/servestats)")
+	}
 	fmt.Printf("monitord: tree-head key %x\n", mon.PublicKey())
 	blsPub := mon.BLSPublicKey().Bytes()
 	fmt.Printf("monitord: BLS tree-head key %x\n", blsPub[:])
@@ -238,6 +274,9 @@ func main() {
 	got := <-sig
 	fmt.Printf("monitord: %s, shutting down\n", got)
 	srv.Close()
+	if tier != nil {
+		tier.Close()
+	}
 	if err := mon.Close(); err != nil {
 		log.Fatalf("monitord: flushing store: %v", err)
 	}

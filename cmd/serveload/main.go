@@ -1,0 +1,129 @@
+// Command serveload measures the serving tier under large simulated
+// client populations and writes the committed BENCH_serve.json table:
+// the 100k-concurrent-client run, plus matched cached/uncached runs at
+// 1k clients for the amortization speedup.
+//
+// Usage:
+//
+//	serveload                      # full run (100k clients), writes BENCH_serve.json
+//	serveload -smoke               # scaled-down CI run (5k clients)
+//	serveload -clients N -requests R -out path.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/serve/loadtest"
+)
+
+type report struct {
+	GeneratedAt string `json:"generated_at"`
+	Machine     struct {
+		GoVersion string `json:"go_version"`
+		GOOS      string `json:"goos"`
+		GOARCH    string `json:"goarch"`
+		NumCPU    int    `json:"num_cpu"`
+	} `json:"machine"`
+	Workload struct {
+		Leaves  int    `json:"leaves"`
+		HotSet  int    `json:"hot_set"`
+		Pattern string `json:"pattern"`
+	} `json:"workload"`
+	Scenarios  []*loadtest.Result `json:"scenarios"`
+	Acceptance struct {
+		MaxClients        int     `json:"max_clients_sustained"`
+		HitRate           float64 `json:"cache_hit_rate"`
+		SpeedupAt1k       float64 `json:"cached_vs_uncached_speedup_1k"`
+		SpeedupProofOnly  float64 `json:"cached_vs_proofonly_speedup_1k"`
+		HitRateOK         bool    `json:"hit_rate_above_90pct"`
+		TenfoldSpeedupOK  bool    `json:"speedup_at_least_10x"`
+	} `json:"acceptance"`
+}
+
+func main() {
+	clients := flag.Int("clients", 100_000, "concurrent clients for the large cached run")
+	requests := flag.Int("requests", 20, "proof requests per client")
+	leaves := flag.Int("leaves", 2048, "seeded log size")
+	hotset := flag.Int("hotset", 128, "hot working-set size (distinct leaf indices)")
+	out := flag.String("out", "BENCH_serve.json", "output path")
+	smoke := flag.Bool("smoke", false, "scaled-down CI run (5k clients, fewer requests)")
+	flag.Parse()
+
+	if *smoke {
+		*clients = 5_000
+		*requests = 8
+	}
+
+	var rep report
+	rep.GeneratedAt = time.Now().UTC().Format(time.RFC3339)
+	rep.Machine.GoVersion = runtime.Version()
+	rep.Machine.GOOS = runtime.GOOS
+	rep.Machine.GOARCH = runtime.GOARCH
+	rep.Machine.NumCPU = runtime.NumCPU()
+	rep.Workload.Leaves = *leaves
+	rep.Workload.HotSet = *hotset
+	rep.Workload.Pattern = "hot-head: every client audits the most recent entries at the current head"
+
+	fmt.Fprintf(os.Stderr, "seeding %d-leaf log behind a serving tier...\n", *leaves)
+	f, err := loadtest.NewFixture(*leaves)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	run := func(opts loadtest.Options) *loadtest.Result {
+		res, err := loadtest.Run(f, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if res.Errors > 0 {
+			fatal(fmt.Errorf("%s: %d requests errored", res.Scenario, res.Errors))
+		}
+		fmt.Fprintf(os.Stderr, "%-20s %7d clients  %9.0f rps  p50 %7.1fus  p99 %8.1fus  hit %.1f%%\n",
+			res.Scenario, res.Clients, res.Throughput, res.P50us, res.P99us, 100*res.HitRate)
+		return res
+	}
+
+	big := run(loadtest.Options{Leaves: *leaves, Clients: *clients, RequestsPerClient: *requests, HotSet: *hotset})
+	big.Scenario = "cached-large"
+	cached1k := run(loadtest.Options{Leaves: *leaves, Clients: 1000, RequestsPerClient: *requests, HotSet: *hotset})
+	cached1k.Scenario = "cached-1k"
+	uncached1k := run(loadtest.Options{Leaves: *leaves, Clients: 1000, RequestsPerClient: 2, HotSet: *hotset, Uncached: true})
+	uncached1k.Scenario = "uncached-1k"
+	proofOnly1k := run(loadtest.Options{Leaves: *leaves, Clients: 1000, RequestsPerClient: 4, HotSet: *hotset, Uncached: true, ProofOnly: true})
+	proofOnly1k.Scenario = "uncached-proofonly-1k"
+
+	rep.Scenarios = []*loadtest.Result{big, cached1k, uncached1k, proofOnly1k}
+	rep.Acceptance.MaxClients = big.Clients
+	rep.Acceptance.HitRate = big.HitRate
+	rep.Acceptance.SpeedupAt1k = cached1k.Throughput / uncached1k.Throughput
+	rep.Acceptance.SpeedupProofOnly = cached1k.Throughput / proofOnly1k.Throughput
+	rep.Acceptance.HitRateOK = big.HitRate > 0.90
+	rep.Acceptance.TenfoldSpeedupOK = rep.Acceptance.SpeedupAt1k >= 10
+
+	if !rep.Acceptance.HitRateOK || !rep.Acceptance.TenfoldSpeedupOK {
+		fatal(fmt.Errorf("acceptance failed: hit rate %.3f, speedup %.1fx",
+			rep.Acceptance.HitRate, rep.Acceptance.SpeedupAt1k))
+	}
+
+	buf, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (speedup %.0fx at 1k clients, hit rate %.1f%%)\n",
+		*out, rep.Acceptance.SpeedupAt1k, 100*rep.Acceptance.HitRate)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "serveload:", err)
+	os.Exit(1)
+}

@@ -67,6 +67,7 @@ type Monitor struct {
 	alerts     []audit.Misbehavior
 	slashed    map[string]int  // equivocation-proof fingerprint -> log index
 	logSources map[string]bool // hex BLS keys slashing reports may accuse
+	appendHook func()          // see SetAppendHook; called with mu held
 
 	// Persistence (nil/zero for in-memory monitors; see Open).
 	store         *store.Store
@@ -127,6 +128,25 @@ func (m *Monitor) EnableBLSHeads(sk *bls.SecretKey) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.blsKey = sk
+}
+
+// SetAppendHook registers fn to run whenever the public log grows (one
+// call per accepted batch, not per leaf). The serve tier uses it as a
+// level trigger to re-sign and push heads once per append batch instead
+// of once per client. fn runs with the monitor lock held and MUST NOT
+// block or call back into the monitor — a non-blocking channel send is
+// the intended shape.
+func (m *Monitor) SetAppendHook(fn func()) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.appendHook = fn
+}
+
+// notifyAppendLocked fires the append hook. Caller holds m.mu.
+func (m *Monitor) notifyAppendLocked() {
+	if m.appendHook != nil {
+		m.appendHook()
+	}
 }
 
 // PublicKey returns the monitor's ed25519 tree-head signing key.
@@ -238,6 +258,7 @@ func (m *Monitor) SubmitBatch(envs []*audit.AttestedStatusEnvelope) []BatchOutco
 		out[a.pos] = BatchOutcome{LogIndex: idx, Alert: proof}
 	}
 	m.maybeSnapshotLocked(len(acc))
+	m.notifyAppendLocked()
 	return out
 }
 
@@ -319,6 +340,7 @@ func (m *Monitor) RecordLogEquivocation(p *gossip.EquivocationProof) (int, error
 		Gossip: p,
 	})
 	m.maybeSnapshotLocked(1)
+	m.notifyAppendLocked()
 	return idx, nil
 }
 
@@ -367,6 +389,13 @@ func (m *Monitor) NumShards() int {
 	return m.log.NumShards()
 }
 
+// Len reports the public log's current total size.
+func (m *Monitor) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.Len()
+}
+
 // ProveInclusion returns the payload at index plus its inclusion proof
 // against the current super-root.
 func (m *Monitor) ProveInclusion(index int) ([]byte, *aolog.ShardInclusionProof, error) {
@@ -383,12 +412,40 @@ func (m *Monitor) ProveInclusion(index int) ([]byte, *aolog.ShardInclusionProof,
 	return payload, proof, nil
 }
 
+// ProveInclusionAt returns the payload at global index plus its inclusion
+// proof against the super-root at tree size n (n <= current size). Proofs
+// against a FIXED past size are immutable facts about an append-only log,
+// which is what makes them cacheable by the serve tier: the proof for
+// (index, n) never changes as the log grows.
+func (m *Monitor) ProveInclusionAt(index, n int) ([]byte, *aolog.ShardInclusionProof, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	payload, err := m.log.Entry(index)
+	if err != nil {
+		return nil, nil, err
+	}
+	proof, err := m.log.ProveInclusionAt(index, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	return payload, proof, nil
+}
+
 // ProveConsistency proves the monitor's log grew append-only between two
 // sizes (what monitors of the monitor check).
 func (m *Monitor) ProveConsistency(oldSize int) (*aolog.ShardConsistencyProof, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.log.ProveConsistency(oldSize)
+}
+
+// ProveConsistencyBetween proves append-only growth between two fixed
+// sizes. Like ProveInclusionAt, the result is immutable once both sizes
+// are in the past, so the serve tier caches it per (old, new) range.
+func (m *Monitor) ProveConsistencyBetween(oldSize, newSize int) (*aolog.ShardConsistencyProof, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.log.ProveConsistencyBetween(oldSize, newSize)
 }
 
 // Observations returns the recorded observation count for a domain.

@@ -1,0 +1,48 @@
+package serve
+
+import "sync/atomic"
+
+// gate is the admission controller for proof COMPUTATION. Cache hits
+// never touch it — that is what keeps fast clients' latency flat while
+// the miss path saturates. A bounded number of computations run at once;
+// a bounded number of callers may queue behind them; everyone past that
+// is refused immediately (the tier then degrades to stale-but-verified
+// state instead of letting the request sit in an unbounded queue until
+// the client times out).
+type gate struct {
+	slots   chan struct{} // capacity = max concurrent computations
+	waiters chan struct{} // capacity = max queued callers
+	refused atomic.Uint64
+}
+
+func newGate(maxInFlight, maxWaiters int) *gate {
+	if maxInFlight < 1 {
+		maxInFlight = 1
+	}
+	if maxWaiters < 0 {
+		maxWaiters = 0
+	}
+	return &gate{
+		slots:   make(chan struct{}, maxInFlight),
+		waiters: make(chan struct{}, maxInFlight+maxWaiters),
+	}
+}
+
+// enter tries to claim a computation slot, queueing at most the
+// configured number of callers. On success the returned release must be
+// called. On refusal (queue full) it returns ok=false without blocking.
+func (g *gate) enter() (release func(), ok bool) {
+	// The waiters channel bounds total admitted-but-unfinished callers
+	// (running + queued); beyond it, refuse instantly.
+	select {
+	case g.waiters <- struct{}{}:
+	default:
+		g.refused.Add(1)
+		return nil, false
+	}
+	g.slots <- struct{}{} // bounded wait: at most maxWaiters ahead of us
+	return func() {
+		<-g.slots
+		<-g.waiters
+	}, true
+}

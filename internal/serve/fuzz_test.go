@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/aolog"
+	"repro/internal/gossip"
+	"repro/internal/transport"
+)
+
+// newFuzzSubscriber builds a Subscriber with no connection and no read
+// loop — frames are injected directly into handleFrame, the exact code
+// path the read loop feeds.
+func newFuzzSubscriber() *Subscriber {
+	return &Subscriber{
+		pending:  make(map[uint64]chan *transport.Response),
+		lastSize: make(map[string]uint64),
+		byKey:    make(map[string]int),
+		done:     make(chan struct{}),
+	}
+}
+
+// checkMonotone fails if the subscriber's accepted heads ever violate
+// the per-source monotonicity the push channel promises.
+func checkMonotone(t *testing.T, s *Subscriber) {
+	t.Helper()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for key, idx := range s.byKey {
+		if got := s.heads[idx].Head.Size; got != s.lastSize[key] {
+			t.Fatalf("source %q: recorded head size %d != guard %d", key, got, s.lastSize[key])
+		}
+	}
+}
+
+func pushFrame(t *testing.T, subs []transport.Request) []byte {
+	t.Helper()
+	body, err := json.Marshal(subs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame, err := json.Marshal(&transport.Request{ID: 0, Kind: transport.BatchKind, Body: body})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frame
+}
+
+func headsBody(t *testing.T, from string, heads ...gossip.GossipHead) json.RawMessage {
+	t.Helper()
+	b, err := json.Marshal(&gossip.HeadsMessage{From: from, Heads: heads})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// FuzzSubscribeFrame feeds raw wire frames — subscription acks,
+// responses, pushes, and garbage — into the subscriber's frame handler.
+// Every frame is delivered twice (duplicated delivery is a seed-listed
+// adversarial case) and must neither panic nor break head monotonicity.
+func FuzzSubscribeFrame(f *testing.F) {
+	t := &testing.T{}
+	gh := gossip.GossipHead{Source: "mon", Head: aolog.BLSSignedHead{Size: 7}}
+	gh2 := gossip.GossipHead{Source: "mon", Head: aolog.BLSSignedHead{Size: 3}} // regression
+
+	// Well-formed subscription ack (a Response frame).
+	ackBody, _ := json.Marshal(&SubscribeResponse{Heads: []gossip.GossipHead{gh}})
+	ack, _ := json.Marshal(&transport.Response{ID: 1, OK: true, Body: ackBody})
+	f.Add(ack)
+	// Truncated ack.
+	f.Add(ack[:len(ack)/2])
+	// Error ack.
+	errAck, _ := json.Marshal(&transport.Response{ID: 2, OK: false, Error: "denied"})
+	f.Add(errAck)
+	// Push frame carrying two heads, one a regression.
+	f.Add(pushFrame(t, []transport.Request{{Kind: KindPushHeads, Body: headsBody(t, "mon", gh, gh2)}}))
+	// Nested _batch push frame (batch inside a batch).
+	inner := pushFrame(t, []transport.Request{{Kind: KindPushHeads, Body: headsBody(t, "mon", gh)}})
+	nested, _ := json.Marshal([]transport.Request{{Kind: transport.BatchKind, Body: inner}})
+	outer, _ := json.Marshal(&transport.Request{ID: 0, Kind: transport.BatchKind, Body: nested})
+	f.Add(outer)
+	// Non-batch push kind, empty frame, raw garbage.
+	stray, _ := json.Marshal(&transport.Request{ID: 9, Kind: KindPushHeads, Body: headsBody(t, "x", gh)})
+	f.Add(stray)
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"ok":true`))
+	f.Add([]byte{0xff, 0x00, 0x42})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s := newFuzzSubscriber()
+		// A pending call waiting on ID 1 exercises the ack routing path,
+		// including duplicated acks for one ID.
+		s.pending[1] = make(chan *transport.Response, 2)
+		s.handleFrame(data)
+		s.handleFrame(data) // duplicated delivery
+		checkMonotone(t, s)
+	})
+}
+
+// FuzzPushBatch fuzzes the pushed-_batch body specifically: the handler
+// must survive arbitrary sub-request lists (nested batches, truncated
+// bodies, hostile sizes) without panicking, and accepted heads must stay
+// monotone per source.
+func FuzzPushBatch(f *testing.F) {
+	t := &testing.T{}
+	gh := gossip.GossipHead{Source: "mon", SourcePK: []byte{1, 2, 3}, Head: aolog.BLSSignedHead{Size: 10}}
+	gh2 := gossip.GossipHead{Source: "mon", SourcePK: []byte{1, 2, 3}, Head: aolog.BLSSignedHead{Size: 4}}
+
+	ok, _ := json.Marshal([]transport.Request{{Kind: KindPushHeads, Body: headsBody(t, "mon", gh)}})
+	f.Add(ok)
+	two, _ := json.Marshal([]transport.Request{
+		{Kind: KindPushHeads, Body: headsBody(t, "mon", gh)},
+		{Kind: KindPushHeads, Body: headsBody(t, "mon", gh2)}, // duplicate source, regressed
+	})
+	f.Add(two)
+	nestedBody, _ := json.Marshal([]transport.Request{{Kind: transport.BatchKind, Body: ok}})
+	f.Add(nestedBody)
+	f.Add([]byte(`[`))
+	f.Add([]byte(`[{"kind":"push_heads","body":{"heads":[{"head":{"Size":18446744073709551615}}]}}]`))
+	f.Add([]byte(`null`))
+
+	f.Fuzz(func(t *testing.T, body []byte) {
+		s := newFuzzSubscriber()
+		s.handlePush(&transport.Request{ID: 0, Kind: transport.BatchKind, Body: body})
+		s.handlePush(&transport.Request{ID: 0, Kind: transport.BatchKind, Body: body})
+		checkMonotone(t, s)
+	})
+}

@@ -1,0 +1,258 @@
+// Package loadtest drives the serving tier with very large in-process
+// client populations — the "does the monitor survive hypergrowth"
+// harness. Clients are goroutines calling the tier's direct entry
+// points, so a single box can simulate 100k+ concurrent auditing
+// clients without burning a file descriptor per client; the wire path
+// is exercised separately by the transport and hammer tests.
+//
+// Scenarios:
+//
+//   - cached: the serving tier as shipped — proof cache, single-flight
+//     coalescing, head signed once per size.
+//   - uncached: the pre-tier path an auditing client pays today — a
+//     fresh BLS head signature plus a fresh proof computation per
+//     request (what "headbls"+"proofs" cost before this tier existed).
+//   - uncached-proofonly: the pre-tier path minus head signing, to
+//     separate signature amortization from proof amortization.
+package loadtest
+
+import (
+	"crypto/ed25519"
+	"crypto/rand"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/bls"
+	"repro/internal/blsapp"
+	"repro/internal/domain"
+	"repro/internal/framework"
+	"repro/internal/monitor"
+	"repro/internal/serve"
+	"repro/internal/tee"
+)
+
+// Options configure one scenario run.
+type Options struct {
+	Leaves            int  // log size to seed (default 2048)
+	Clients           int  // concurrent client goroutines
+	RequestsPerClient int  // proof requests each client issues
+	HotSet            int  // distinct leaf indices in the hot working set (default 128)
+	Uncached          bool // bypass the tier: per-request head sign + fresh proof
+	ProofOnly         bool // with Uncached: skip the per-request head signature
+}
+
+// Result is one scenario's measurement.
+type Result struct {
+	Scenario   string  `json:"scenario"`
+	Clients    int     `json:"clients"`
+	Requests   int     `json:"requests"`
+	DurationMS float64 `json:"duration_ms"`
+	Throughput float64 `json:"throughput_rps"`
+	P50us      float64 `json:"p50_us"`
+	P99us      float64 `json:"p99_us"`
+	MaxUs      float64 `json:"max_us"`
+	HitRate    float64 `json:"cache_hit_rate"`
+	Errors     int     `json:"errors"`
+
+	Stats *serve.Stats `json:"serve_stats,omitempty"`
+}
+
+// Fixture is a fully provisioned monitor + serving tier over a seeded
+// log, the same stack the daemons run.
+type Fixture struct {
+	Mon  *monitor.Monitor
+	Tier *serve.Tier
+}
+
+// Close releases the tier (the in-memory monitor needs no teardown).
+func (f *Fixture) Close() {
+	if f.Tier != nil {
+		f.Tier.Close()
+	}
+}
+
+// NewFixture provisions a simulated enclave, installs the BLS module,
+// seeds the monitor's log with leaves attested statuses, and attaches a
+// serving tier.
+func NewFixture(leaves int) (*Fixture, error) {
+	if leaves <= 0 {
+		leaves = 2048
+	}
+	dev, err := framework.NewDeveloper()
+	if err != nil {
+		return nil, err
+	}
+	v, err := tee.NewVendor(tee.VendorSimSGX)
+	if err != nil {
+		return nil, err
+	}
+	enclave, err := v.Provision("host", framework.Measure(dev.PublicKey()))
+	if err != nil {
+		return nil, err
+	}
+	params := audit.Params{
+		Roots:       tee.RootSet{tee.VendorSimSGX: v.RootKey()},
+		Measurement: framework.Measure(dev.PublicKey()),
+		Domains:     []audit.DomainInfo{{Name: "d1", HasTEE: true}},
+	}
+	tk, shares, err := bls.ThresholdKeyGen(2, 3)
+	if err != nil {
+		return nil, err
+	}
+	state := blsapp.NewShareStateWithKey(shares[0], tk, dev.PublicKey())
+	fw, err := framework.New(dev.PublicKey(), enclave, blsapp.Hosts(state))
+	if err != nil {
+		return nil, err
+	}
+	mod := blsapp.ModuleBytes()
+	if err := fw.Install(1, mod, dev.SignUpdate(1, mod)); err != nil {
+		return nil, err
+	}
+	_, priv, err := ed25519.GenerateKey(rand.Reader)
+	if err != nil {
+		return nil, err
+	}
+	mon := monitor.New(params, priv)
+	headSK, _, err := bls.GenerateKey()
+	if err != nil {
+		return nil, err
+	}
+	mon.EnableBLSHeads(headSK)
+
+	// Seed the log in batches to keep envelope construction off the
+	// measured path.
+	const batch = 256
+	for off := 0; off < leaves; off += batch {
+		n := batch
+		if leaves-off < n {
+			n = leaves - off
+		}
+		envs := make([]*audit.AttestedStatusEnvelope, n)
+		for i := range envs {
+			nonce := []byte(fmt.Sprintf("seed-%d", off+i))
+			as := fw.AttestedStatus(nonce)
+			envs[i] = &audit.AttestedStatusEnvelope{
+				Nonce: nonce,
+				Resp:  domain.StatusResponse{Domain: "d1", Status: as.Status, Quote: as.Quote},
+			}
+		}
+		for _, o := range mon.SubmitBatch(envs) {
+			if o.Err != nil {
+				return nil, o.Err
+			}
+		}
+	}
+
+	pkb := mon.BLSPublicKey().Bytes()
+	tier, err := serve.Attach(mon, serve.Options{Source: "loadtest", SourcePK: pkb[:]})
+	if err != nil {
+		return nil, err
+	}
+	mon.SetAppendHook(tier.Kick)
+	return &Fixture{Mon: mon, Tier: tier}, nil
+}
+
+// Run executes one scenario against an existing fixture so multiple
+// scenarios can share the (expensive) enclave provisioning.
+func Run(f *Fixture, opts Options) (*Result, error) {
+	if opts.Clients <= 0 || opts.RequestsPerClient <= 0 {
+		return nil, fmt.Errorf("loadtest: clients and requests must be positive")
+	}
+	hot := opts.HotSet
+	if hot <= 0 {
+		hot = 128
+	}
+	size := f.Mon.Len()
+	if hot > size {
+		hot = size
+	}
+	base := size - hot // audit the most recent entries: the hot-head workload
+
+	name := "cached"
+	if opts.Uncached {
+		name = "uncached"
+		if opts.ProofOnly {
+			name = "uncached-proofonly"
+		}
+	}
+
+	statsBefore := f.Tier.Stats()
+	perClient := make([][]time.Duration, opts.Clients)
+	errCounts := make([]int, opts.Clients)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < opts.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, opts.RequestsPerClient)
+			for r := 0; r < opts.RequestsPerClient; r++ {
+				idx := base + (c*7919+r)%hot // deterministic spread over the hot set
+				t0 := time.Now()
+				var err error
+				if opts.Uncached {
+					if !opts.ProofOnly {
+						_, err = f.Mon.TreeHeadBLS()
+					}
+					if err == nil {
+						_, _, err = f.Mon.ProveInclusionAt(idx, size)
+					}
+				} else {
+					_, err = f.Tier.Proof(&serve.ProofRequest{Index: idx})
+				}
+				lat = append(lat, time.Since(t0))
+				if err != nil {
+					errCounts[c]++
+				}
+			}
+			perClient[c] = lat
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	all := make([]time.Duration, 0, opts.Clients*opts.RequestsPerClient)
+	errors := 0
+	for c := range perClient {
+		all = append(all, perClient[c]...)
+		errors += errCounts[c]
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	pct := func(p float64) float64 {
+		if len(all) == 0 {
+			return 0
+		}
+		return float64(all[int(float64(len(all)-1)*p)].Nanoseconds()) / 1e3
+	}
+
+	res := &Result{
+		Scenario:   name,
+		Clients:    opts.Clients,
+		Requests:   len(all),
+		DurationMS: float64(elapsed.Nanoseconds()) / 1e6,
+		Throughput: float64(len(all)) / elapsed.Seconds(),
+		P50us:      pct(0.50),
+		P99us:      pct(0.99),
+		MaxUs:      pct(1.0),
+		Errors:     errors,
+	}
+	if !opts.Uncached {
+		st := f.Tier.Stats()
+		delta := serve.Stats{
+			Hits:      st.Hits - statsBefore.Hits,
+			Misses:    st.Misses - statsBefore.Misses,
+			Coalesced: st.Coalesced - statsBefore.Coalesced,
+		}
+		total := delta.Hits + delta.Misses + delta.Coalesced
+		if total > 0 {
+			// Coalesced waiters shared a computation they did not run;
+			// they count as amortized alongside plain hits.
+			res.HitRate = float64(delta.Hits+delta.Coalesced) / float64(total)
+		}
+		res.Stats = &st
+	}
+	return res, nil
+}

@@ -1,0 +1,39 @@
+package loadtest
+
+import "testing"
+
+// TestSmoke is the scaled-down CI version of the 100k-client run: a few
+// hundred concurrent clients on a hot-head workload must complete with
+// zero errors, a >90% cache hit rate, and higher throughput than the
+// uncached per-request path.
+func TestSmoke(t *testing.T) {
+	f, err := NewFixture(512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	cached, err := Run(f, Options{Clients: 400, RequestsPerClient: 5, HotSet: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached.Errors != 0 {
+		t.Fatalf("cached run had %d errors", cached.Errors)
+	}
+	if cached.HitRate <= 0.90 {
+		t.Fatalf("hit rate %.3f, want > 0.90", cached.HitRate)
+	}
+
+	uncached, err := Run(f, Options{Clients: 50, RequestsPerClient: 4, HotSet: 64, Uncached: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if uncached.Errors != 0 {
+		t.Fatalf("uncached run had %d errors", uncached.Errors)
+	}
+	if cached.Throughput <= uncached.Throughput {
+		t.Fatalf("cached %.0f rps not faster than uncached %.0f rps", cached.Throughput, uncached.Throughput)
+	}
+	t.Logf("cached %.0f rps (hit %.1f%%), uncached %.0f rps",
+		cached.Throughput, 100*cached.HitRate, uncached.Throughput)
+}

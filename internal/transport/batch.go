@@ -61,7 +61,7 @@ func (s *Server) dispatchBatch(req *Request) *Response {
 	resps := make([]Response, len(subs))
 	for i := range subs {
 		if subs[i].Kind == BatchKind || s.isNoBatch(subs[i].Kind) {
-			resps[i] = Response{ID: subs[i].ID, OK: false, Error: "batches do not nest"}
+			resps[i] = Response{ID: subs[i].ID, OK: false, Error: fmt.Sprintf("kind %q not allowed inside a batch", subs[i].Kind)}
 			continue
 		}
 		resps[i] = *s.dispatch(&subs[i])

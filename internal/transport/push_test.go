@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestPushFramesReachClient subscribes over a raw connection and checks
+// that server-initiated _batch frames arrive interleaved with (but never
+// corrupting) ordinary responses.
+func TestPushFramesReachClient(t *testing.T) {
+	srv := NewServer()
+	pushers := make(chan *Pusher, 1)
+	srv.HandlePush("sub", func(body json.RawMessage, p *Pusher) (any, error) {
+		if p == nil {
+			t.Error("connection-borne subscribe got nil pusher")
+		}
+		pushers <- p
+		return map[string]string{"status": "subscribed"}, nil
+	})
+	ln := NewMemListener()
+	srv.Serve(ln)
+	defer srv.Close()
+
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Subscribe.
+	req, _ := json.Marshal(&Request{ID: 7, Kind: "sub"})
+	if err := WriteFrame(conn, req); err != nil {
+		t.Fatal(err)
+	}
+	frame, err := ReadFrame(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var resp Response
+	if err := json.Unmarshal(frame, &resp); err != nil || !resp.OK || resp.ID != 7 {
+		t.Fatalf("subscribe ack: %v %+v", err, resp)
+	}
+
+	// net.Pipe is synchronous, so pushes are written from their own
+	// goroutine (as a hub would) while this side reads.
+	p := <-pushers
+	pushErr := make(chan error, 1)
+	go func() {
+		for i := 0; i < 3; i++ {
+			body, _ := json.Marshal(map[string]int{"seq": i})
+			if err := p.Push([]Request{{Kind: "notify", Body: body}}); err != nil {
+				pushErr <- err
+				return
+			}
+		}
+		pushErr <- nil
+	}()
+	for i := 0; i < 3; i++ {
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var push Request
+		if err := json.Unmarshal(frame, &push); err != nil {
+			t.Fatal(err)
+		}
+		if push.Kind != BatchKind {
+			t.Fatalf("push frame kind %q, want %q", push.Kind, BatchKind)
+		}
+		var subs []Request
+		if err := json.Unmarshal(push.Body, &subs); err != nil || len(subs) != 1 || subs[0].Kind != "notify" {
+			t.Fatalf("push body: %v %+v", err, subs)
+		}
+	}
+	if err := <-pushErr; err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropping the connection closes Done.
+	conn.Close()
+	select {
+	case <-p.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("pusher Done not closed after connection drop")
+	}
+	if err := p.Push([]Request{{Kind: "notify"}}); err == nil {
+		t.Fatal("push after close succeeded")
+	}
+}
+
+// TestPushKindRefusedInsideBatch ensures a client cannot smuggle a
+// subscription into a _batch frame.
+func TestPushKindRefusedInsideBatch(t *testing.T) {
+	srv := NewServer()
+	srv.HandlePush("sub", func(json.RawMessage, *Pusher) (any, error) {
+		return struct{}{}, nil
+	})
+	sub, _ := json.Marshal([]Request{{ID: 1, Kind: "sub"}})
+	resp := srv.dispatch(&Request{ID: 1, Kind: BatchKind, Body: sub})
+	if !resp.OK {
+		t.Fatalf("batch envelope failed: %s", resp.Error)
+	}
+	var resps []Response
+	if err := json.Unmarshal(resp.Body, &resps); err != nil || len(resps) != 1 {
+		t.Fatal(err)
+	}
+	if resps[0].OK {
+		t.Fatal("push kind accepted inside a batch")
+	}
+}
+
+// TestPushHandlerDirectDispatchGetsNilPusher covers the fuzz/direct path.
+func TestPushHandlerDirectDispatchGetsNilPusher(t *testing.T) {
+	srv := NewServer()
+	srv.HandlePush("sub", func(_ json.RawMessage, p *Pusher) (any, error) {
+		if p != nil {
+			t.Error("direct dispatch delivered a pusher")
+		}
+		return struct{}{}, nil
+	})
+	if resp := srv.dispatch(&Request{ID: 1, Kind: "sub"}); !resp.OK {
+		t.Fatalf("direct dispatch failed: %s", resp.Error)
+	}
+}

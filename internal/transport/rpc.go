@@ -29,22 +29,24 @@ type Handler func(body json.RawMessage) (any, error)
 // Server dispatches framed JSON requests to registered handlers.
 // All exported methods are safe for concurrent use.
 type Server struct {
-	mu       sync.RWMutex
-	handlers map[string]Handler
-	noBatch  map[string]bool
-	ln       net.Listener
-	wg       sync.WaitGroup
-	closed   chan struct{}
-	conns    map[net.Conn]struct{}
+	mu           sync.RWMutex
+	handlers     map[string]Handler
+	pushHandlers map[string]PushHandler
+	noBatch      map[string]bool
+	ln           net.Listener
+	wg           sync.WaitGroup
+	closed       chan struct{}
+	conns        map[net.Conn]struct{}
 }
 
 // NewServer creates an empty server.
 func NewServer() *Server {
 	return &Server{
-		handlers: make(map[string]Handler),
-		noBatch:  make(map[string]bool),
-		closed:   make(chan struct{}),
-		conns:    make(map[net.Conn]struct{}),
+		handlers:     make(map[string]Handler),
+		pushHandlers: make(map[string]PushHandler),
+		noBatch:      make(map[string]bool),
+		closed:       make(chan struct{}),
+		conns:        make(map[net.Conn]struct{}),
 	}
 }
 
@@ -144,7 +146,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 	s.conns[conn] = struct{}{}
 	s.mu.Unlock()
+	pusher := newPusher(conn)
 	defer func() {
+		close(pusher.done)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -160,20 +164,38 @@ func (s *Server) serveConn(conn net.Conn) {
 			// Protocol violation: drop the connection.
 			return
 		}
-		resp := s.dispatch(&req)
+		resp := s.dispatchConn(&req, pusher)
 		out, err := json.Marshal(resp)
 		if err != nil {
 			return
 		}
-		if err := WriteFrame(conn, out); err != nil {
+		if err := pusher.writeFrame(out); err != nil {
 			return
 		}
 	}
 }
 
 func (s *Server) dispatch(req *Request) *Response {
+	return s.dispatchConn(req, nil)
+}
+
+// dispatchConn routes one request. p is the requesting connection's
+// Pusher (nil when dispatching without a connection); handlers registered
+// via HandlePush receive it.
+func (s *Server) dispatchConn(req *Request, p *Pusher) *Response {
 	if req.Kind == BatchKind {
 		return s.dispatchBatch(req)
+	}
+	if ph, ok := s.pushHandler(req.Kind); ok {
+		body, err := ph(req.Body, p)
+		if err != nil {
+			return &Response{ID: req.ID, OK: false, Error: err.Error()}
+		}
+		enc, err := json.Marshal(body)
+		if err != nil {
+			return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("encoding response: %v", err)}
+		}
+		return &Response{ID: req.ID, OK: true, Body: enc}
 	}
 	s.mu.RLock()
 	h, ok := s.handlers[req.Kind]
