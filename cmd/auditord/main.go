@@ -40,7 +40,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -51,10 +50,20 @@ import (
 
 	"repro/internal/aolog"
 	"repro/internal/bls"
+	"repro/internal/bls12381"
 	"repro/internal/gossip"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 	"repro/internal/transport"
 )
+
+// logger is the daemon-wide structured logger (component=auditord).
+var logger = obsv.NewLogger(os.Stderr, "auditord", nil)
+
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
 
 // sourceConn is one watched monitor.
 type sourceConn struct {
@@ -81,20 +90,30 @@ type roundResponse struct {
 }
 
 func main() {
-	log.SetFlags(0)
 	var (
-		name     = flag.String("name", "witness", "this witness's name")
-		listen   = flag.String("listen", "127.0.0.1:0", "listen address")
-		sources  = flag.String("sources", "", "comma-separated name=addr monitor list")
-		peers    = flag.String("peers", "", "comma-separated peer witness addresses")
-		dataDir   = flag.String("data", "", "durable storage directory; empty runs in-memory (cosigning key and evidence are lost on exit)")
-		interval  = flag.Duration("interval", 0, "automatic pull+gossip period (0 = RPC-driven only)")
-		subscribe = flag.Bool("subscribe", false, "subscribe to head pushes from every source instead of relying on polling alone")
+		name       = flag.String("name", "witness", "this witness's name")
+		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
+		sources    = flag.String("sources", "", "comma-separated name=addr monitor list")
+		peers      = flag.String("peers", "", "comma-separated peer witness addresses")
+		dataDir    = flag.String("data", "", "durable storage directory; empty runs in-memory (cosigning key and evidence are lost on exit)")
+		interval   = flag.Duration("interval", 0, "automatic pull+gossip period (0 = RPC-driven only)")
+		subscribe  = flag.Bool("subscribe", false, "subscribe to head pushes from every source instead of relying on polling alone")
+		metrics    = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, /traces, pprof); empty disables")
+		traceEvery = flag.Int("trace", 64, "sample one in N requests for tracing (0 disables local roots)")
 	)
 	flag.Parse()
 	if *sources == "" {
-		log.Fatal("auditord: need at least one -sources name=addr entry")
+		fatal("need at least one -sources name=addr entry")
 	}
+
+	reg := obsv.NewRegistry()
+	health := obsv.NewHealth()
+	health.Register(reg)
+	tracer := obsv.NewTracer(*traceEvery)
+	tracer.Register(reg)
+	tracer.SetLogger(logger)
+	bls.RegisterMetrics(reg)
+	bls12381.RegisterMetrics(reg)
 
 	var w *gossip.Witness
 	if *dataDir != "" {
@@ -103,46 +122,51 @@ func main() {
 		// survives restarts — frontiers resume instead of re-TOFUing.
 		witness, rec, err := gossip.OpenWitness(*dataDir, gossip.Config{Name: *name})
 		if err != nil {
-			log.Fatalf("auditord: %v", err)
+			fatal("opening witness journal", "err", err, "data", *dataDir)
 		}
 		w = witness
-		fmt.Printf("auditord: recovered %d heads, %d cosignatures, %d equivocation proofs (%d events awaiting source registration)\n",
-			rec.Heads, rec.Cosigs, rec.Proofs, rec.Pending)
+		logger.Info("recovered evidence", "heads", rec.Heads, "cosigs", rec.Cosigs,
+			"proofs", rec.Proofs, "pending", rec.Pending)
 	} else {
 		key, _, err := bls.GenerateKey()
 		if err != nil {
-			log.Fatalf("auditord: keygen: %v", err)
+			fatal("keygen", "err", err)
 		}
 		w, err = gossip.NewWitness(gossip.Config{Name: *name, Key: key})
 		if err != nil {
-			log.Fatalf("auditord: %v", err)
+			fatal("creating witness", "err", err)
 		}
 	}
+	w.RegisterMetrics(reg)
+	// A witness whose evidence journal can no longer be written must not
+	// look ready: its cosignatures would not survive a restart.
+	health.Set("witness-journal", w.Err)
 
 	// Connect to sources; fetch their tree-head keys (TOFU for the demo).
 	var srcs []*sourceConn
 	for _, entry := range strings.Split(*sources, ",") {
 		parts := strings.SplitN(strings.TrimSpace(entry), "=", 2)
 		if len(parts) != 2 {
-			log.Fatalf("auditord: bad -sources entry %q (want name=addr)", entry)
+			fatal("bad -sources entry (want name=addr)", "entry", entry)
 		}
 		sc := &sourceConn{name: parts[0], addr: parts[1]}
 		var err error
 		sc.conn, err = transport.Dial(sc.addr)
 		if err != nil {
-			log.Fatalf("auditord: dialing source %s: %v", sc.name, err)
+			fatal("dialing source", "source", sc.name, "err", err)
 		}
 		var info monitorInfo
 		if err := sc.conn.Call("info", struct{}{}, &info); err != nil {
-			log.Fatalf("auditord: fetching %s identity: %v", sc.name, err)
+			fatal("fetching source identity", "source", sc.name, "err", err)
 		}
 		pk := new(bls.PublicKey)
 		if err := pk.SetBytes(info.BLSKey); err != nil {
-			log.Fatalf("auditord: source %s BLS key: %v", sc.name, err)
+			fatal("bad source BLS key", "source", sc.name, "err", err)
 		}
 		if err := w.AddSource(gossip.Source{Name: sc.name, Key: pk}); err != nil {
-			log.Fatalf("auditord: %v", err)
+			fatal("adding source", "source", sc.name, "err", err)
 		}
+		logger.Info("watching source", "source", sc.name, "addr", sc.addr, "size", info.Size)
 		srcs = append(srcs, sc)
 	}
 
@@ -152,18 +176,18 @@ func main() {
 		for _, addr := range strings.Split(*peers, ",") {
 			p, err := gossip.DialPeer(strings.TrimSpace(addr))
 			if err != nil {
-				log.Fatalf("auditord: dialing peer %s: %v", addr, err)
+				fatal("dialing peer", "peer", addr, "err", err)
 			}
 			info, err := p.Info()
 			if err != nil {
-				log.Fatalf("auditord: peer %s identity: %v", addr, err)
+				fatal("fetching peer identity", "peer", addr, "err", err)
 			}
 			pk := new(bls.PublicKey)
 			if err := pk.SetBytes(info.PublicKey); err != nil {
-				log.Fatalf("auditord: peer %s key: %v", addr, err)
+				fatal("bad peer key", "peer", addr, "err", err)
 			}
 			if err := w.AddWitness(pk); err != nil {
-				log.Fatalf("auditord: %v", err)
+				fatal("adding peer witness", "peer", addr, "err", err)
 			}
 			peerConns = append(peerConns, p)
 		}
@@ -176,7 +200,7 @@ func main() {
 		var errs []string
 		for _, sc := range srcs {
 			if err := pullSource(w, sc); err != nil {
-				log.Printf("auditord: %v", err)
+				logger.Warn("pull failed", "source", sc.name, "err", err)
 				errs = append(errs, err.Error())
 			}
 		}
@@ -216,24 +240,31 @@ func main() {
 	if *subscribe {
 		for _, sc := range srcs {
 			if err := subscribeSource(w, sc, publishFrontier); err != nil {
-				log.Fatalf("auditord: subscribing to %s: %v", sc.name, err)
+				fatal("subscribing to source", "source", sc.name, "err", err)
 			}
 		}
+	}
+	srv.Instrument(reg, tracer)
+
+	var ms *obsv.MetricsServer
+	if *metrics != "" {
+		var err error
+		ms, err = obsv.ListenAndServe(*metrics, reg, health, tracer)
+		if err != nil {
+			fatal("metrics endpoint", "err", err)
+		}
+		logger.Info("observability endpoint up", "addr", ms.Addr)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("auditord: listen: %v", err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
 	srv.Serve(ln)
 	kb := w.PublicKey().Bytes()
-	fmt.Printf("auditord: witness %q on %s, watching %d sources, %d peers\n",
-		*name, ln.Addr(), len(srcs), len(peerConns))
-	fmt.Printf("auditord: cosigning key %x\n", kb[:])
-
-	if *subscribe {
-		fmt.Printf("auditord: subscribed to %d sources for head pushes\n", len(srcs))
-	}
+	logger.Info("serving", "addr", ln.Addr().String(), "sources", len(srcs),
+		"peers", len(peerConns), "subscribed", *subscribe,
+		"cosigning_key", fmt.Sprintf("%x", kb[:]))
 
 	if *interval > 0 {
 		ticker := time.NewTicker(*interval)
@@ -242,9 +273,9 @@ func main() {
 			for range ticker.C {
 				pull() // per-source failures already logged; keep gossiping
 				if sum, err := w.Round(peerConns); err != nil {
-					log.Printf("auditord: round: %v", err)
+					logger.Warn("gossip round failed", "err", err)
 				} else if sum.NewProofs > 0 {
-					log.Printf("auditord: ALERT: %d new equivocation proofs", sum.NewProofs)
+					logger.Warn("new equivocation proofs", "count", sum.NewProofs)
 				}
 				publishFrontier()
 			}
@@ -255,13 +286,16 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	got := <-sig
-	fmt.Printf("auditord: %s, shutting down\n", got)
+	logger.Info("shutting down", "signal", got.String())
 	srv.Close()
+	if ms != nil {
+		ms.Close()
+	}
 	if err := w.Close(); err != nil {
-		log.Fatalf("auditord: flushing journal: %v", err)
+		fatal("flushing journal", "err", err)
 	}
 	if *dataDir != "" {
-		fmt.Printf("auditord: journal flushed to %s\n", *dataDir)
+		logger.Info("journal flushed", "data", *dataDir)
 	}
 }
 
@@ -298,7 +332,7 @@ func subscribeSource(w *gossip.Witness, sc *sourceConn, publish func()) error {
 		for {
 			select {
 			case <-sub.Done():
-				log.Printf("auditord: push channel to %s closed: %v (polling continues)", sc.name, sub.Err())
+				logger.Warn("push channel closed, polling continues", "source", sc.name, "err", sub.Err())
 				return
 			case <-kick:
 			}
@@ -317,17 +351,17 @@ func subscribeSource(w *gossip.Witness, sc *sourceConn, publish func()) error {
 					NewSize int `json:"new_size"`
 				}{OldSize: int(front.Size), NewSize: int(gh.Head.Size)}
 				if err := sub.Call("consistency", req, cons); err != nil {
-					log.Printf("auditord: consistency for pushed %s head: %v", sc.name, err)
+					logger.Warn("consistency for pushed head failed", "source", sc.name, "size", gh.Head.Size, "err", err)
 					continue
 				}
 			}
 			res := w.Ingest(sc.name, gh.Head, cons)
 			if res.Err != nil {
-				log.Printf("auditord: ingesting pushed %s head: %v", sc.name, res.Err)
+				logger.Warn("ingesting pushed head failed", "source", sc.name, "size", gh.Head.Size, "err", res.Err)
 				continue
 			}
 			if res.Proof != nil {
-				log.Printf("auditord: ALERT: source %s convicted of equivocation", sc.name)
+				logger.Warn("source convicted of equivocation", "source", sc.name, "size", gh.Head.Size)
 			}
 			publish()
 		}
@@ -363,7 +397,7 @@ func pullSource(w *gossip.Witness, sc *sourceConn) error {
 			return fmt.Errorf("auditord: ingesting %s head: %w", sc.name, res.Err)
 		}
 		if res.Proof != nil {
-			log.Printf("auditord: ALERT: source %s convicted of equivocation", sc.name)
+			logger.Warn("source convicted of equivocation", "source", sc.name, "size", head.Size)
 		}
 		return nil
 	}

@@ -53,17 +53,28 @@ import (
 	"repro/internal/deployfile"
 	"repro/internal/framework"
 	"repro/internal/gossip"
+	"repro/internal/obsv"
 	"repro/internal/transport"
 
 	"repro/internal/domain"
 )
 
+// rootTrace, when valid, rides in the frame header of every RPC this
+// invocation issues, so one `dtclient -trace audit` is followable in
+// the daemons' logs and /traces pages by its trace id.
+var rootTrace obsv.TraceContext
+
 func main() {
 	log.SetFlags(0)
 	paramsPath := flag.String("params", "deployment.json", "deployment parameters file from trustdomaind")
+	trace := flag.Bool("trace", false, "send a sampled trace context with every RPC and print its id")
 	flag.Parse()
 	if flag.NArg() < 1 {
 		log.Fatal("dtclient: need a subcommand: audit | sign | signbatch | refresh | status")
+	}
+	if *trace {
+		rootTrace = obsv.NewTrace()
+		fmt.Fprintf(os.Stderr, "trace %s\n", hex.EncodeToString(rootTrace.TraceID[:]))
 	}
 
 	file, err := deployfile.Read(*paramsPath)
@@ -201,6 +212,7 @@ func runWitnessAudit(params audit.Params, args []string) {
 	if err != nil {
 		log.Fatalf("dtclient: dialing monitor: %v", err)
 	}
+	mon.SetTrace(rootTrace)
 	defer mon.Close()
 	var info struct {
 		Name   string `json:"name"`
@@ -227,6 +239,7 @@ func runWitnessAudit(params audit.Params, args []string) {
 		if err != nil {
 			log.Fatalf("dtclient: dialing witness %s: %v", addr, err)
 		}
+		wc.SetTrace(rootTrace)
 		var wi gossip.WitnessInfo
 		err = wc.Call(gossip.KindWitnessInfo, struct{}{}, &wi)
 		wc.Close()
@@ -241,6 +254,7 @@ func runWitnessAudit(params audit.Params, args []string) {
 	}
 
 	c := audit.NewClient(params)
+	c.SetTrace(rootTrace)
 	defer c.Close()
 	// SourcePK is the canonical identity: witnesses that configured a
 	// different local label for this monitor still resolve the head.
@@ -266,6 +280,7 @@ func runWitnessAudit(params audit.Params, args []string) {
 
 func runAudit(params audit.Params) {
 	c := audit.NewClient(params)
+	c.SetTrace(rootTrace)
 	defer c.Close()
 	report, err := c.Audit()
 	if err != nil {
@@ -391,6 +406,7 @@ func runStatus(params audit.Params, args []string) {
 		log.Fatal(err)
 	}
 	c := audit.NewClient(params)
+	c.SetTrace(rootTrace)
 	defer c.Close()
 	for _, d := range params.Domains {
 		if *name != "" && d.Name != *name {
@@ -429,6 +445,7 @@ func (r *rpcInvoker) conn(i int) (*transport.Client, error) {
 		if err != nil {
 			return nil, err
 		}
+		c.SetTrace(rootTrace)
 		r.conns[i] = c
 	}
 	return r.conns[i], nil

@@ -56,9 +56,9 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -68,15 +68,16 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/bls"
+	"repro/internal/bls12381"
 	"repro/internal/deployfile"
 	"repro/internal/gossip"
 	"repro/internal/monitor"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 	"repro/internal/transport"
 )
 
 func main() {
-	log.SetFlags(0)
 	var (
 		paramsPath = flag.String("params", "deployment.json", "deployment parameters file")
 		listen     = flag.String("listen", "127.0.0.1:0", "listen address")
@@ -85,64 +86,86 @@ func main() {
 		dataDir    = flag.String("data", "", "durable storage directory; empty runs in-memory (log and keys are lost on exit)")
 		slashable  = flag.String("slashable", "", "comma-separated hex BLS keys of peer monitors whose equivocation proofs this monitor records")
 		subscribe  = flag.Bool("subscribe", true, "serve reads through the caching tier and push new heads to subscribed connections")
+		metrics    = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, /traces, pprof); empty disables")
+		traceEvery = flag.Int("trace", 64, "sample one in N requests for tracing (0 disables local roots)")
+		debugHooks = flag.Bool("debug-hooks", false, "register debug RPCs (_poison) — test deployments only")
 	)
 	flag.Parse()
 
+	logger := obsv.NewLogger(os.Stderr, "monitord", nil)
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+	reg := obsv.NewRegistry()
+	health := obsv.NewHealth()
+	health.Register(reg)
+	tracer := obsv.NewTracer(*traceEvery)
+	tracer.Register(reg)
+	tracer.SetLogger(logger)
+	bls.RegisterMetrics(reg)
+	bls12381.RegisterMetrics(reg)
+
 	file, err := deployfile.Read(*paramsPath)
 	if err != nil {
-		log.Fatalf("monitord: %v", err)
+		fatal("reading deployment parameters", "err", err)
 	}
 	params, err := file.Params()
 	if err != nil {
-		log.Fatalf("monitord: %v", err)
+		fatal("parsing deployment parameters", "err", err)
 	}
 	var mon *monitor.Monitor
 	if *dataDir != "" {
 		// Persistent monitor: stable tree-head identity, crash-safe log.
 		mon, err = monitor.Open(*dataDir, params, &monitor.OpenOptions{Shards: *shards})
 		if err != nil {
-			log.Fatalf("monitord: %v", err)
+			fatal("opening monitor store", "err", err, "data", *dataDir)
 		}
 		if info, ok := mon.RecoveryInfo(); ok {
 			head := "no signed head on disk"
 			if info.HasHead {
 				head = fmt.Sprintf("super-root verified against last signed head (size %d)", info.HeadSize)
 			}
-			fmt.Printf("monitord: recovered %d log leaves (%d from segments, %d from WAL, snapshot at %d) in %s; %s\n",
-				info.Leaves, info.FromSegments, info.FromWAL, info.SnapshotSize, info.Elapsed.Round(time.Millisecond), head)
+			logger.Info("recovered log", "size", info.Leaves, "from_segments", info.FromSegments,
+				"from_wal", info.FromWAL, "snapshot_size", info.SnapshotSize,
+				"elapsed", info.Elapsed.Round(time.Millisecond), "head", head)
 		}
 	} else {
 		_, priv, err := ed25519.GenerateKey(rand.Reader)
 		if err != nil {
-			log.Fatalf("monitord: keygen: %v", err)
+			fatal("keygen", "err", err)
 		}
 		mon, err = monitor.NewSharded(params, priv, *shards)
 		if err != nil {
-			log.Fatalf("monitord: %v", err)
+			fatal("creating monitor", "err", err)
 		}
 		blsKey, _, err := bls.GenerateKey()
 		if err != nil {
-			log.Fatalf("monitord: BLS keygen: %v", err)
+			fatal("BLS keygen", "err", err)
 		}
 		mon.EnableBLSHeads(blsKey)
 	}
+	mon.RegisterMetrics(reg)
+	// The sticky persistence error flips readiness: a monitor that can
+	// no longer write its log durably must not look healthy.
+	health.Set("monitor-persist", mon.Err)
 	// Slashing reports may accuse this monitor itself plus any pinned
 	// peer monitor keys; proofs for other keys are self-signed spam.
 	if err := mon.RegisterLogSource(mon.BLSPublicKey()); err != nil {
-		log.Fatalf("monitord: %v", err)
+		fatal("registering own log source", "err", err)
 	}
 	if *slashable != "" {
 		for _, h := range strings.Split(*slashable, ",") {
 			kb, err := hex.DecodeString(strings.TrimSpace(h))
 			if err != nil {
-				log.Fatalf("monitord: -slashable key %q: %v", h, err)
+				fatal("bad -slashable key", "key", h, "err", err)
 			}
 			pk := new(bls.PublicKey)
 			if err := pk.SetBytes(kb); err != nil {
-				log.Fatalf("monitord: -slashable key %q: %v", h, err)
+				fatal("bad -slashable key", "key", h, "err", err)
 			}
 			if err := mon.RegisterLogSource(pk); err != nil {
-				log.Fatalf("monitord: %v", err)
+				fatal("registering slashable key", "err", err)
 			}
 		}
 	}
@@ -245,44 +268,69 @@ func main() {
 	var tier *serve.Tier
 	if *subscribe {
 		pkb := mon.BLSPublicKey().Bytes()
-		tier, err = serve.Attach(mon, serve.Options{Source: *name, SourcePK: pkb[:]})
+		tier, err = serve.Attach(mon, serve.Options{Source: *name, SourcePK: pkb[:], Metrics: reg})
 		if err != nil {
-			log.Fatalf("monitord: serving tier: %v", err)
+			fatal("attaching serving tier", "err", err)
 		}
 		mon.SetAppendHook(tier.Kick)
 		tier.Register(srv)
+		// A poisoned (fail-closed) tier must flip /readyz, not just
+		// refuse RPCs.
+		health.Set("serve", tier.Unhealthy)
+	}
+	if *debugHooks && tier != nil {
+		// Test-only failure injection: the e2e smoke test poisons the
+		// tier over RPC and asserts /readyz flips while serve_poisoned=1.
+		srv.Handle("_poison", func(json.RawMessage) (any, error) {
+			tier.Poison(errors.New("debug poison injected"))
+			return map[string]bool{"poisoned": true}, nil
+		})
+	}
+	srv.Instrument(reg, tracer)
+
+	var ms *obsv.MetricsServer
+	if *metrics != "" {
+		ms, err = obsv.ListenAndServe(*metrics, reg, health, tracer)
+		if err != nil {
+			fatal("metrics endpoint", "err", err)
+		}
+		logger.Info("observability endpoint up", "addr", ms.Addr)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatalf("monitord: listen: %v", err)
+		fatal("listen", "addr", *listen, "err", err)
 	}
 	srv.Serve(ln)
-	fmt.Printf("monitord: watching %d domains, serving on %s (%d log shards)\n",
-		len(params.Domains), ln.Addr(), *shards)
-	if tier != nil {
-		fmt.Println("monitord: caching serve tier enabled (proof/subscribe/servestats)")
-	}
-	fmt.Printf("monitord: tree-head key %x\n", mon.PublicKey())
-	blsPub := mon.BLSPublicKey().Bytes()
-	fmt.Printf("monitord: BLS tree-head key %x\n", blsPub[:])
+	logger.Info("serving", "addr", ln.Addr().String(), "domains", len(params.Domains),
+		"shards", *shards, "serve_tier", tier != nil, "size", mon.Len())
+	logger.Info("tree-head identity", "ed25519", fmt.Sprintf("%x", mon.PublicKey()),
+		"bls", fmt.Sprintf("%x", blsKeyBytes(mon)))
 
 	// Clean shutdown: stop serving, then flush the store (final
 	// snapshot, WAL checkpoint, segment close) before exiting.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	got := <-sig
-	fmt.Printf("monitord: %s, shutting down\n", got)
+	logger.Info("shutting down", "signal", got.String())
 	srv.Close()
 	if tier != nil {
 		tier.Close()
 	}
+	if ms != nil {
+		ms.Close()
+	}
 	if err := mon.Close(); err != nil {
-		log.Fatalf("monitord: flushing store: %v", err)
+		fatal("flushing store", "err", err)
 	}
 	if *dataDir != "" {
-		fmt.Printf("monitord: store flushed to %s\n", *dataDir)
+		logger.Info("store flushed", "data", *dataDir, "size", mon.Len())
 	}
+}
+
+func blsKeyBytes(mon *monitor.Monitor) []byte {
+	b := mon.BLSPublicKey().Bytes()
+	return b[:]
 }
 
 type submitResponse struct {

@@ -36,12 +36,12 @@ type report struct {
 	} `json:"workload"`
 	Scenarios  []*loadtest.Result `json:"scenarios"`
 	Acceptance struct {
-		MaxClients        int     `json:"max_clients_sustained"`
-		HitRate           float64 `json:"cache_hit_rate"`
-		SpeedupAt1k       float64 `json:"cached_vs_uncached_speedup_1k"`
-		SpeedupProofOnly  float64 `json:"cached_vs_proofonly_speedup_1k"`
-		HitRateOK         bool    `json:"hit_rate_above_90pct"`
-		TenfoldSpeedupOK  bool    `json:"speedup_at_least_10x"`
+		MaxClients       int     `json:"max_clients_sustained"`
+		HitRate          float64 `json:"cache_hit_rate"`
+		SpeedupAt1k      float64 `json:"cached_vs_uncached_speedup_1k"`
+		SpeedupProofOnly float64 `json:"cached_vs_proofonly_speedup_1k"`
+		HitRateOK        bool    `json:"hit_rate_above_90pct"`
+		TenfoldSpeedupOK bool    `json:"speedup_at_least_10x"`
 	} `json:"acceptance"`
 }
 
@@ -84,8 +84,8 @@ func main() {
 		if res.Errors > 0 {
 			fatal(fmt.Errorf("%s: %d requests errored", res.Scenario, res.Errors))
 		}
-		fmt.Fprintf(os.Stderr, "%-20s %7d clients  %9.0f rps  p50 %7.1fus  p99 %8.1fus  hit %.1f%%\n",
-			res.Scenario, res.Clients, res.Throughput, res.P50us, res.P99us, 100*res.HitRate)
+		fmt.Fprintf(os.Stderr, "%-20s %7d clients  %9.0f rps  p50 %7.1fus  p99 %8.1fus  p999 %8.1fus  hit %.1f%%\n",
+			res.Scenario, res.Clients, res.Throughput, res.P50us, res.P99us, res.P999us, 100*res.HitRate)
 		return res
 	}
 
@@ -121,6 +121,13 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "wrote %s (speedup %.0fx at 1k clients, hit rate %.1f%%)\n",
 		*out, rep.Acceptance.SpeedupAt1k, 100*rep.Acceptance.HitRate)
+
+	// Final telemetry dump: the tier's full Prometheus exposition, so a
+	// load-test log carries the same series an operator would scrape.
+	fmt.Fprintln(os.Stderr, "--- serve tier /metrics at exit ---")
+	if err := f.Tier.Metrics().WritePrometheus(os.Stderr); err != nil {
+		fatal(err)
+	}
 }
 
 func fatal(err error) {

@@ -40,7 +40,6 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -48,17 +47,26 @@ import (
 	"time"
 
 	"repro/internal/bls"
+	"repro/internal/bls12381"
 	"repro/internal/blsapp"
 	"repro/internal/core"
 	"repro/internal/deployfile"
 	"repro/internal/framework"
+	"repro/internal/obsv"
 	"repro/internal/sandbox"
 	"repro/internal/store"
 	"repro/internal/tee"
 )
 
+// logger is the daemon-wide structured logger (component=trustdomaind).
+var logger = obsv.NewLogger(os.Stderr, "trustdomaind", nil)
+
+func fatal(msg string, args ...any) {
+	logger.Error(msg, args...)
+	os.Exit(1)
+}
+
 func main() {
-	log.SetFlags(0)
 	var (
 		demo    = flag.Bool("demo", true, "run a complete single-machine deployment")
 		n       = flag.Int("n", 3, "number of trust domains (incl. domain 0)")
@@ -67,26 +75,34 @@ func main() {
 		frozen  = flag.Bool("frozen", false, "disable code updates after installation")
 		dataDir = flag.String("data", "", "directory for durable key-share state (restart keeps shares and epochs)")
 		refresh = flag.Duration("refresh", 0, "proactively refresh the key shares at this interval (0 disables)")
+		metrics = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, pprof); empty disables")
 	)
 	flag.Parse()
 	if !*demo {
-		log.Fatal("trustdomaind: only -demo mode is available in this reproduction " +
+		fatal("only -demo mode is available in this reproduction " +
 			"(multi-machine mode would need a key-distribution ceremony; see DESIGN.md)")
 	}
 	if *t < 1 || *t > *n {
-		log.Fatalf("trustdomaind: invalid threshold %d of %d", *t, *n)
+		fatal("invalid threshold", "t", *t, "n", *n)
 	}
 	if *refresh != 0 && *refresh < time.Second {
-		log.Fatalf("trustdomaind: refresh interval %v too small (min 1s)", *refresh)
+		fatal("refresh interval too small (min 1s)", "interval", *refresh)
 	}
+
+	reg := obsv.NewRegistry()
+	health := obsv.NewHealth()
+	health.Register(reg)
+	bls.RegisterMetrics(reg)
+	bls12381.RegisterMetrics(reg)
+	blsapp.RegisterCeremonyMetrics(reg)
 
 	dev, err := framework.NewDeveloper()
 	if err != nil {
-		log.Fatalf("trustdomaind: developer keygen: %v", err)
+		fatal("developer keygen", "err", err)
 	}
 	vendors, roots, err := tee.NewSimulatedEcosystem()
 	if err != nil {
-		log.Fatalf("trustdomaind: ecosystem: %v", err)
+		fatal("ecosystem", "err", err)
 	}
 	var vendorList []*tee.Vendor
 	for _, id := range tee.AllVendorIDs() {
@@ -95,8 +111,11 @@ func main() {
 
 	tk, states, err := openThresholdState(*dataDir, *t, *n, dev.PublicKey())
 	if err != nil {
-		log.Fatalf("trustdomaind: %v", err)
+		fatal("opening threshold state", "err", err)
 	}
+	// Domain 0's share state carries the deployment's epoch series
+	// (every domain advances in lockstep outside torn ceremonies).
+	states[0].RegisterMetrics(reg)
 
 	dep, err := core.Deploy(core.Config{
 		NumDomains: *n,
@@ -111,7 +130,7 @@ func main() {
 		Frozen: *frozen,
 	})
 	if err != nil {
-		log.Fatalf("trustdomaind: deploy: %v", err)
+		fatal("deploy", "err", err)
 	}
 	defer dep.Close()
 
@@ -121,39 +140,63 @@ func main() {
 	if *dataDir != "" {
 		cur, err := recoverPendingCeremony(*dataDir, dep, dev, tk, states)
 		if err != nil {
-			log.Fatalf("trustdomaind: recovering interrupted refresh: %v", err)
+			fatal("recovering interrupted refresh", "err", err)
 		}
 		tk = cur
+	}
+	// Readiness requires every domain to sit on one epoch: a torn
+	// ceremony (mixed epochs) is a serving deployment but not a healthy
+	// one until the refresh is re-driven to convergence.
+	health.Set("share-epochs", func() error {
+		lo, hi := states[0].Epoch(), states[0].Epoch()
+		for _, st := range states[1:] {
+			e := st.Epoch()
+			if e < lo {
+				lo = e
+			}
+			if e > hi {
+				hi = e
+			}
+		}
+		if lo != hi {
+			return fmt.Errorf("mixed share epochs %d..%d (refresh ceremony incomplete)", lo, hi)
+		}
+		return nil
+	})
+
+	var ms *obsv.MetricsServer
+	if *metrics != "" {
+		ms, err = obsv.ListenAndServe(*metrics, reg, health, nil)
+		if err != nil {
+			fatal("metrics endpoint", "err", err)
+		}
+		defer ms.Close()
+		logger.Info("observability endpoint up", "addr", ms.Addr)
 	}
 
 	file := deployfile.FromParams(dep.Params(), tk)
 	if err := file.Write(*params); err != nil {
-		log.Fatalf("trustdomaind: %v", err)
+		fatal("writing parameters", "err", err)
 	}
 
-	fmt.Printf("trustdomaind: %d domains up (threshold %d-of-%d, epoch %d, frozen=%v)\n",
-		*n, *t, *n, tk.Epoch, *frozen)
+	logger.Info("domains up", "n", *n, "t", *t, "epoch", tk.Epoch, "frozen", *frozen)
 	for i := 0; i < dep.NumDomains(); i++ {
 		d := dep.Domain(i)
-		teeNote := "no TEE"
-		if d.HasTEE() {
-			teeNote = "simulated TEE"
-		}
-		fmt.Printf("  %-10s %-21s [%s]\n", d.Name(), d.Addr(), teeNote)
+		logger.Info("domain", "name", d.Name(), "addr", d.Addr(), "tee", d.HasTEE())
 	}
-	fmt.Printf("public parameters written to %s\n", *params)
+	logger.Info("public parameters written", "path", *params)
 	// Refresh frames must be developer-signed; export the signing seed
 	// (0600) so `dtclient refresh` can coordinate ceremonies from
 	// another process. It is exactly as sensitive as the update key.
 	if err := deployfile.WriteRefreshKey(*params+".refresh-key", dev.Seed()); err != nil {
-		log.Fatalf("trustdomaind: %v", err)
+		fatal("writing refresh key", "err", err)
 	}
-	fmt.Printf("refresh signing key written to %s (keep it 0600)\n", *params+".refresh-key")
+	logger.Info("refresh signing key written (keep it 0600)", "path", *params+".refresh-key")
 
 	stop := make(chan struct{})
 	done := make(chan struct{})
 	if *refresh != 0 {
-		fmt.Printf("proactive share refresh every %v\n", *refresh)
+		logger.Info("proactive share refresh enabled", "interval", *refresh)
 		go func() {
 			defer close(done)
 			runRefreshLoop(*refresh, *dataDir, *params, dep, dev, tk, stop)
@@ -162,13 +205,13 @@ func main() {
 		close(done)
 	}
 
-	fmt.Println("serving until SIGINT/SIGTERM ...")
+	logger.Info("serving until SIGINT/SIGTERM")
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
-	<-sig
+	got := <-sig
 	close(stop)
 	<-done
-	fmt.Println("shutting down")
+	logger.Info("shutting down", "signal", got.String())
 }
 
 // thresholdStatePath is where a durable deployment records the current
@@ -306,10 +349,10 @@ func resumeFromShares(dataDir string, stored *bls.ThresholdKey, t, n int, devKey
 		}
 	}
 	if len(byEpoch) > 1 {
-		log.Printf("trustdomaind: resumed MIXED share epochs from %s (%v); serving epoch %d — re-drive the interrupted refresh to converge",
-			dataDir, shareEpochs(shares), tk.Epoch)
+		logger.Warn("resumed MIXED share epochs; re-drive the interrupted refresh to converge",
+			"data", dataDir, "share_epochs", fmt.Sprint(shareEpochs(shares)), "epoch", tk.Epoch)
 	} else {
-		log.Printf("trustdomaind: resumed durable shares from %s (epoch %d)", dataDir, tk.Epoch)
+		logger.Info("resumed durable shares", "data", dataDir, "epoch", tk.Epoch)
 	}
 	return tk, states, nil
 }
@@ -359,7 +402,7 @@ func recoverPendingCeremony(dataDir string, dep *core.Deployment, dev *framework
 	if ref.NewEpoch != minEpoch+1 {
 		return nil, fmt.Errorf("pending ceremony targets epoch %d but a domain is still at epoch %d", ref.NewEpoch, minEpoch)
 	}
-	log.Printf("trustdomaind: re-driving interrupted refresh ceremony to epoch %d", ref.NewEpoch)
+	logger.Info("re-driving interrupted refresh ceremony", "epoch", ref.NewEpoch)
 	if err := blsapp.RunRefreshCeremony(dep, ref, dev); err != nil {
 		return nil, err
 	}
@@ -369,7 +412,7 @@ func recoverPendingCeremony(dataDir string, dep *core.Deployment, dev *framework
 	if err := deployfile.RemoveRefresh(pending); err != nil {
 		return nil, err
 	}
-	log.Printf("trustdomaind: refresh recovered; deployment at epoch %d", ref.NewEpoch)
+	logger.Info("refresh recovered", "epoch", ref.NewEpoch)
 	return ref.NewKey, nil
 }
 
@@ -399,7 +442,7 @@ func runRefreshLoop(every time.Duration, dataDir, paramsPath string, dep *core.D
 		if file, err := deployfile.Read(paramsPath); err == nil {
 			if pk, err := file.ThresholdKey(); err == nil && pk != nil &&
 				pk.GroupKey.Equal(&cur.GroupKey) && pk.Epoch > cur.Epoch {
-				log.Printf("trustdomaind: adopting epoch %d from %s (external refresh)", pk.Epoch, paramsPath)
+				logger.Info("adopting externally advanced epoch", "epoch", pk.Epoch, "path", paramsPath)
 				cur = pk
 			}
 		}
@@ -412,12 +455,12 @@ func runRefreshLoop(every time.Duration, dataDir, paramsPath string, dep *core.D
 			var err error
 			ref, err = deployfile.ReadRefresh(pendingRefreshPath(dataDir))
 			if err != nil {
-				log.Printf("trustdomaind: refresh: %v", err)
+				logger.Warn("refresh", "err", err)
 				continue
 			}
 			if ref != nil && ref.NewEpoch != cur.Epoch+1 {
 				if err := deployfile.RemoveRefresh(pendingRefreshPath(dataDir)); err != nil {
-					log.Printf("trustdomaind: refresh: %v", err)
+					logger.Warn("refresh", "err", err)
 				}
 				ref = nil
 			}
@@ -425,41 +468,41 @@ func runRefreshLoop(every time.Duration, dataDir, paramsPath string, dep *core.D
 		if ref == nil {
 			next, err := bls.NewRefresh(cur)
 			if err != nil {
-				log.Printf("trustdomaind: refresh: %v", err)
+				logger.Warn("refresh", "err", err)
 				continue
 			}
 			// Durable-intent first: a crash mid-ceremony must find the
 			// exact package on disk so the restart can re-drive it.
 			if dataDir != "" {
 				if err := deployfile.WriteRefresh(pendingRefreshPath(dataDir), next); err != nil {
-					log.Printf("trustdomaind: refresh: %v", err)
+					logger.Warn("refresh", "err", err)
 					continue
 				}
 			}
 			ref = next
 		}
 		if err := blsapp.RunRefreshCeremony(dep, ref, dev); err != nil {
-			log.Printf("trustdomaind: refresh ceremony failed (will re-drive the same package next tick): %v", err)
+			logger.Warn("refresh ceremony failed; re-driving the same package next tick", "epoch", ref.NewEpoch, "err", err)
 			continue
 		}
 		if dataDir != "" {
 			if err := writeThresholdState(dataDir, ref.NewKey); err != nil {
-				log.Printf("trustdomaind: refresh: %v", err)
+				logger.Warn("refresh", "err", err)
 				continue
 			}
 		}
 		file := deployfile.FromParams(dep.Params(), ref.NewKey)
 		if err := file.Write(paramsPath); err != nil {
-			log.Printf("trustdomaind: refresh: %v", err)
+			logger.Warn("refresh", "err", err)
 			continue
 		}
 		if dataDir != "" {
 			if err := deployfile.RemoveRefresh(pendingRefreshPath(dataDir)); err != nil {
-				log.Printf("trustdomaind: refresh: %v", err)
+				logger.Warn("refresh", "err", err)
 			}
 		}
 		cur = ref.NewKey
 		ref = nil
-		log.Printf("trustdomaind: shares refreshed; deployment now at epoch %d (group key unchanged)", cur.Epoch)
+		logger.Info("shares refreshed (group key unchanged)", "epoch", cur.Epoch)
 	}
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/aolog"
 	"repro/internal/domain"
 	"repro/internal/framework"
+	"repro/internal/obsv"
 	"repro/internal/tee"
 	"repro/internal/transport"
 )
@@ -192,6 +193,7 @@ type Client struct {
 	params Params
 
 	mu     sync.Mutex
+	trace  obsv.TraceContext
 	conns  map[string]*transport.Client
 	wconns map[string]*transport.Client // witness connections, by address
 	last   map[string]AttestedStatusEnvelope
@@ -211,6 +213,21 @@ func NewClient(params Params) *Client {
 
 // Params returns the public verification parameters.
 func (c *Client) Params() Params { return c.params }
+
+// SetTrace makes every RPC this client issues carry tc (each call gets
+// a fresh child span id). Connections already cached pick it up too, so
+// one sampled audit is followable across every daemon it touches.
+func (c *Client) SetTrace(tc obsv.TraceContext) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = tc
+	for _, conn := range c.conns {
+		conn.SetTrace(tc)
+	}
+	for _, conn := range c.wconns {
+		conn.SetTrace(tc)
+	}
+}
 
 // Close closes all cached connections.
 func (c *Client) Close() {
@@ -236,6 +253,7 @@ func (c *Client) conn(info *DomainInfo) (*transport.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("audit: dialing domain %s: %w", info.Name, err)
 	}
+	conn.SetTrace(c.trace)
 	c.conns[info.Name] = conn
 	return conn, nil
 }

@@ -47,6 +47,7 @@ func (c *Client) wconn(addr string) (*transport.Client, error) {
 	if err != nil {
 		return nil, fmt.Errorf("audit: dialing witness %s: %w", addr, err)
 	}
+	conn.SetTrace(c.trace)
 	c.wconns[addr] = conn
 	return conn, nil
 }

@@ -2,6 +2,7 @@ package bls
 
 import (
 	"crypto/rand"
+	"time"
 
 	"repro/internal/bls12381"
 	"repro/internal/ff"
@@ -47,6 +48,11 @@ func batchCoeff() (ff.Fr, error) {
 // VerifyAggregate no distinct-message rule is needed because each triple
 // carries its own signature. An empty batch is rejected.
 func VerifyBatch(pks []*PublicKey, msgs [][]byte, sigs []*Signature) bool {
+	start := time.Now()
+	return observeBatch(len(sigs), start, verifyBatch(pks, msgs, sigs))
+}
+
+func verifyBatch(pks []*PublicKey, msgs [][]byte, sigs []*Signature) bool {
 	n := len(sigs)
 	if n == 0 || len(pks) != n || len(msgs) != n {
 		return false
@@ -132,6 +138,13 @@ func VerifyAggregateSameMsg(pks []*PublicKey, msg []byte, sig *Signature) bool {
 // return says only that at least one share is invalid (fall back to
 // per-share VerifyShareSignature to attribute blame).
 func (tk *ThresholdKey) VerifyShareSignaturesBatch(msg []byte, shares []SignatureShare) bool {
+	start := time.Now()
+	obs.shareBatches.Inc()
+	defer func() { obs.shareLat.Observe(time.Since(start).Seconds()) }()
+	return tk.verifyShareSignaturesBatch(msg, shares)
+}
+
+func (tk *ThresholdKey) verifyShareSignaturesBatch(msg []byte, shares []SignatureShare) bool {
 	n := len(shares)
 	if n == 0 {
 		return false

@@ -123,6 +123,7 @@ func VerifyPossession(pk *PublicKey, pop *Signature) bool {
 // Verify reports whether sig is a valid signature on msg under pk:
 // e(sig, G2) == e(H(msg), pk), checked as e(sig, -G2) * e(H(msg), pk) == 1.
 func Verify(pk *PublicKey, msg []byte, sig *Signature) bool {
+	obs.verifies.Inc()
 	return verifyWithDST(pk, msg, sig, SignatureDST)
 }
 

@@ -181,6 +181,8 @@ func PairingCheck(ps []G1Affine, qs []G2Affine) bool {
 		return false
 	}
 	n := len(ps)
+	pairObs.checks.Inc()
+	pairObs.pairs.Add(uint64(n))
 	workers := pairingWorkers(n)
 	var acc ff.Fp12
 	if workers <= 1 {

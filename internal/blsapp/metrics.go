@@ -1,0 +1,62 @@
+package blsapp
+
+import (
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// Coordinator-side ceremony instruments (package-level: ceremonies are
+// driven through package functions). Phase values: 0 idle, 1 building
+// frames, 2 invoking domains, 3 verifying acknowledgements.
+const (
+	ceremonyIdle = iota
+	ceremonyFrames
+	ceremonyInvoke
+	ceremonyAcks
+)
+
+var ceremonyObs = struct {
+	ceremonies obsv.Counter // RunRefreshCeremony calls
+	failures   obsv.Counter // ceremonies that returned an error (re-drive required)
+	phase      obsv.Gauge
+	duration   *obsv.Histogram
+}{duration: obsv.NewHistogram(nil)}
+
+// RegisterCeremonyMetrics exposes the coordinator's refresh-ceremony
+// series on reg under blsapp_ceremony_*.
+func RegisterCeremonyMetrics(reg *obsv.Registry) {
+	reg.RegisterCounter("blsapp_ceremonies_total", "refresh ceremonies driven", &ceremonyObs.ceremonies)
+	reg.RegisterCounter("blsapp_ceremony_failures_total", "refresh ceremonies that ended incomplete", &ceremonyObs.failures)
+	reg.RegisterGauge("blsapp_ceremony_phase", "0 idle, 1 frames, 2 invoke, 3 acks", &ceremonyObs.phase)
+	reg.RegisterHistogram("blsapp_ceremony_seconds", "refresh ceremony wall time", ceremonyObs.duration)
+}
+
+// shareObs holds one domain's refresh instruments.
+type shareObs struct {
+	refreshes     obsv.Counter // epoch transitions committed
+	replays       obsv.Counter // idempotent ceremony replays acknowledged
+	staleRejected obsv.Counter // frames for a wrong (stale or skipped) epoch
+	rejected      obsv.Counter // frames refused for any other reason
+}
+
+// RegisterMetrics exposes this share state's series on reg under
+// blsapp_share_*.
+func (st *ShareState) RegisterMetrics(reg *obsv.Registry) {
+	o := &st.obs
+	reg.RegisterCounter("blsapp_share_refreshes_total", "epoch transitions committed", &o.refreshes)
+	reg.RegisterCounter("blsapp_share_replays_total", "idempotent ceremony replays acknowledged", &o.replays)
+	reg.RegisterCounter("blsapp_share_stale_epoch_rejections_total", "refresh frames for a wrong epoch", &o.staleRejected)
+	reg.RegisterCounter("blsapp_share_rejections_total", "refresh frames refused (auth or validation)", &o.rejected)
+	reg.GaugeFunc("blsapp_share_epoch", "current refresh epoch of the held share", func() float64 {
+		return float64(st.Epoch())
+	})
+}
+
+func observeCeremony(start time.Time, err error) {
+	ceremonyObs.phase.Set(ceremonyIdle)
+	ceremonyObs.duration.Observe(time.Since(start).Seconds())
+	if err != nil {
+		ceremonyObs.failures.Inc()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/bls"
 	"repro/internal/bls12381"
@@ -177,11 +178,15 @@ const ceremonyRetries = 3
 // (domains acknowledge replays idempotently); generating a fresh
 // package for the same epoch would strand the domains that already
 // applied this one.
-func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) error {
+func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) (err error) {
+	start := time.Now()
+	ceremonyObs.ceremonies.Inc()
+	defer func() { observeCeremony(start, err) }()
 	n := inv.NumDomains()
 	if n != len(ref.Deltas) {
 		return fmt.Errorf("blsapp: ceremony for %d shares driven against %d domains", len(ref.Deltas), n)
 	}
+	ceremonyObs.phase.Set(ceremonyFrames)
 	reqs := make([][]byte, n)
 	for i := 0; i < n; i++ {
 		r, err := RefreshRequestFor(ref, i, signer)
@@ -191,6 +196,7 @@ func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) err
 		reqs[i] = r
 	}
 
+	ceremonyObs.phase.Set(ceremonyInvoke)
 	var resps [][]byte
 	if ai, ok := inv.(AllInvoker); ok {
 		var err error
@@ -215,6 +221,7 @@ func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) err
 			resps[i] = resp
 		}
 	}
+	ceremonyObs.phase.Set(ceremonyAcks)
 	for i, resp := range resps {
 		epoch, err := DecodeRefreshAck(resp)
 		if err != nil {

@@ -46,6 +46,8 @@ type ShareState struct {
 
 	path  string // durable state file; empty = in-memory only
 	fsync bool
+
+	obs shareObs // internal instruments; see RegisterMetrics
 }
 
 // NewShareState wraps a key share as in-memory application state with no
@@ -174,6 +176,7 @@ func (st *ShareState) ApplyRefresh(f *RefreshFrame) error {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if f.Index != st.ks.Index {
+		st.obs.rejected.Inc()
 		return fmt.Errorf("blsapp: refresh frame for share %d, this domain holds share %d", f.Index, st.ks.Index)
 	}
 	// Authentication first: before the frame's contents get anywhere
@@ -182,18 +185,23 @@ func (st *ShareState) ApplyRefresh(f *RefreshFrame) error {
 	// RPC port could rotate shares (and a t-subset of rotated-by-the-
 	// attacker domains races the honest epoch).
 	if len(st.devKey) == 0 {
+		st.obs.rejected.Inc()
 		return errors.New("blsapp: refresh rejected: domain has no refresh authority key bound")
 	}
 	if !framework.VerifyRefresh(st.devKey, f.EncodeBody(), f.DevSig[:]) {
+		st.obs.rejected.Inc()
 		return errors.New("blsapp: refresh frame is not signed by the developer key (rejected)")
 	}
 	if f.NewEpoch == st.ks.Epoch && f.CeremonyID == st.lastCID {
+		st.obs.replays.Inc()
 		return nil // idempotent replay of the ceremony that got us here
 	}
 	if f.NewEpoch != st.ks.Epoch+1 {
+		st.obs.staleRejected.Inc()
 		return fmt.Errorf("blsapp: refresh to epoch %d rejected: domain is at epoch %d (ceremonies advance by exactly one)", f.NewEpoch, st.ks.Epoch)
 	}
 	if len(st.commit) == 0 {
+		st.obs.rejected.Inc()
 		return errors.New("blsapp: refresh rejected: domain has no public dealing context (sign-only share state)")
 	}
 	// Feldman validation inside the trust boundary: the frame's rotated
@@ -201,17 +209,21 @@ func (st *ShareState) ApplyRefresh(f *RefreshFrame) error {
 	// the key the deployment's clients pinned — and the derived share
 	// must lie on the committed polynomial.
 	if len(f.Commitment) != st.t {
+		st.obs.rejected.Inc()
 		return fmt.Errorf("blsapp: refresh frame carries %d commitment terms, want %d", len(f.Commitment), st.t)
 	}
 	if !f.Commitment[0].Equal(&st.commit[0]) {
+		st.obs.rejected.Inc()
 		return errors.New("blsapp: refresh frame changes the group public key (rejected)")
 	}
 	next, err := st.ks.ApplyRefresh(f.NewEpoch, &bls.RefreshDelta{Index: f.Index, Delta: f.Delta})
 	if err != nil {
+		st.obs.rejected.Inc()
 		return err
 	}
 	check := bls.ThresholdKey{N: st.n, T: st.t, Epoch: f.NewEpoch, Commitment: f.Commitment}
 	if !check.VerifyShare(&next) {
+		st.obs.rejected.Inc()
 		return errors.New("blsapp: refreshed share does not verify against the ceremony commitment")
 	}
 
@@ -228,5 +240,6 @@ func (st *ShareState) ApplyRefresh(f *RefreshFrame) error {
 	}
 	st.commit = append(st.commit[:0], f.Commitment...)
 	old.Zeroize()
+	st.obs.refreshes.Inc()
 	return nil
 }

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/aolog"
 	"repro/internal/bls"
@@ -76,6 +77,9 @@ type sourceState struct {
 	// frontier is the largest cosigned size; valid when hasFrontier.
 	frontier    uint64
 	hasFrontier bool
+	// maxSeen is the largest validly-signed size recorded (cosigned or
+	// not) — the frontier-lag gauge reports maxSeen-frontier.
+	maxSeen uint64
 	// cosigs accumulates cosignatures by size, keyed by witness key hex.
 	// Only cosignatures over the recorded head at that size are kept.
 	cosigs map[uint64]map[string]Cosignature
@@ -100,6 +104,8 @@ type Witness struct {
 	journalErr error
 	replaying  bool
 	pendingEv  map[string][]pendingEvent // replayed events awaiting their source
+
+	obs gossipObs // internal instruments; see RegisterMetrics
 }
 
 // NewWitness creates a witness from a config. The config's own key is
@@ -120,6 +126,7 @@ func NewWitness(cfg Config) (*Witness, error) {
 		witnesses:   make(map[string]*bls.PublicKey),
 		proofs:      nil,
 		proofKeys:   make(map[string]bool),
+		obs:         newGossipObs(),
 	}
 	w.witnesses[hex.EncodeToString(pkb[:])] = pk
 	for _, wk := range cfg.Witnesses {
@@ -253,6 +260,7 @@ func (w *Witness) Ingest(source string, head aolog.BLSSignedHead, cons *aolog.Sh
 // logic runs under a single lock acquisition. Outcomes are positional.
 func (w *Witness) IngestBatch(ghs []GossipHead) []IngestResult {
 	out := make([]IngestResult, len(ghs))
+	w.obs.ingested.Add(uint64(len(ghs)))
 
 	// Resolve sources and build the combined verification batch.
 	type item struct {
@@ -335,6 +343,8 @@ func (w *Witness) IngestBatch(ghs []GossipHead) []IngestResult {
 	// One multi-pairing for the whole frame; attribute per entry only if
 	// the combined check fails (the honest-frame fast path stays batched).
 	if len(sigs) > 0 {
+		verifyStart := time.Now()
+		defer func() { w.obs.observeVerify(len(sigs), verifyStart) }()
 		if bls.VerifyBatch(pks, msgs, sigs) {
 			for _, r := range where {
 				if r.c < 0 {
@@ -360,13 +370,18 @@ func (w *Witness) IngestBatch(ghs []GossipHead) []IngestResult {
 	defer w.mu.Unlock()
 	for i := range ghs {
 		if items[i].st == nil {
+			w.obs.rejected.Inc()
 			continue
 		}
 		if !items[i].headOK {
 			out[i].Err = errors.New("gossip: head signature invalid")
+			w.obs.rejected.Inc()
 			continue
 		}
 		out[i] = w.ingestLocked(items[i].st, &ghs[i])
+		if out[i].Accepted {
+			w.obs.accepted.Inc()
+		}
 		// Merge the frame's valid cosignatures over the recorded head.
 		if out[i].Recorded {
 			for c, ok := range items[i].cosigOK {
@@ -375,6 +390,7 @@ func (w *Witness) IngestBatch(ghs []GossipHead) []IngestResult {
 				}
 			}
 		}
+		w.updateFrontierLocked(items[i].st)
 	}
 	// One fsync covers the whole frame's journaled evidence.
 	w.syncJournalLocked()
@@ -417,6 +433,9 @@ func (w *Witness) ingestLocked(st *sourceState, gh *GossipHead) IngestResult {
 		prev, had := st.heads[head.Size]
 		changed := !had || prev.Head != head.Head || (cosigned && !st.cosigned[head.Size])
 		st.heads[head.Size] = head
+		if head.Size > st.maxSeen {
+			st.maxSeen = head.Size
+		}
 		if changed {
 			w.journalEvent(evHead, &headEvent{SourcePK: st.pkb, Head: head, Cosigned: cosigned})
 		}
@@ -494,6 +513,7 @@ func (w *Witness) cosignLocked(st *sourceState, head aolog.BLSSignedHead) Cosign
 	sig := w.sk.Sign(CosignMessage(st.pkb, head.Size, head.Head))
 	sb := sig.Bytes()
 	co := Cosignature{Witness: append([]byte{}, w.pkb...), Sig: sb[:]}
+	w.obs.cosigns.Inc()
 	if st.cosigs[head.Size] == nil {
 		st.cosigs[head.Size] = make(map[string]Cosignature)
 	}
@@ -520,6 +540,7 @@ func (w *Witness) mergeCosigLocked(st *sourceState, head aolog.BLSSignedHead, co
 		st.cosigs[head.Size] = make(map[string]Cosignature)
 	}
 	st.cosigs[head.Size][key] = co
+	w.obs.cosigsMerged.Inc()
 	w.journalEvent(evCosig, &cosigEvent{SourcePK: st.pkb, Head: head, Cosig: co})
 }
 

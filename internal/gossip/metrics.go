@@ -1,0 +1,88 @@
+package gossip
+
+import (
+	"time"
+
+	"repro/internal/obsv"
+)
+
+// gossipObs holds the witness's own instruments. They exist from
+// NewWitness on (so the hot paths never nil-check) and are bound to a
+// registry by RegisterMetrics.
+type gossipObs struct {
+	ingested     obsv.Counter // heads presented to IngestBatch
+	accepted     obsv.Counter // heads consistency-verified and cosigned
+	rejected     obsv.Counter // heads refused outright (unknown source, bad signature)
+	cosigns      obsv.Counter // cosignatures this witness produced
+	cosigsMerged obsv.Counter // peer cosignatures verified and merged
+
+	verifyLat  *obsv.Histogram // one multi-pairing per gossip frame
+	verifySigs *obsv.Histogram // signatures folded into each multi-pairing
+
+	frontier    *obsv.GaugeVec // cosigned frontier size, per source
+	frontierLag *obsv.GaugeVec // largest signed size seen minus frontier, per source
+}
+
+func newGossipObs() gossipObs {
+	return gossipObs{
+		verifyLat:   obsv.NewHistogram(nil),
+		verifySigs:  obsv.NewHistogram(obsv.SizeBuckets),
+		frontier:    obsv.NewGaugeVec(),
+		frontierLag: obsv.NewGaugeVec(),
+	}
+}
+
+// RegisterMetrics exposes the witness's series on reg under gossip_*.
+func (w *Witness) RegisterMetrics(reg *obsv.Registry) {
+	o := &w.obs
+	reg.RegisterCounter("gossip_heads_ingested_total", "source heads presented for ingestion", &o.ingested)
+	reg.RegisterCounter("gossip_heads_accepted_total", "heads consistency-verified and cosigned", &o.accepted)
+	reg.RegisterCounter("gossip_heads_rejected_total", "heads refused outright", &o.rejected)
+	reg.RegisterCounter("gossip_cosigns_issued_total", "cosignatures produced by this witness", &o.cosigns)
+	reg.RegisterCounter("gossip_cosigs_merged_total", "peer cosignatures verified and merged", &o.cosigsMerged)
+	reg.RegisterHistogram("gossip_verify_seconds", "latency of the per-frame BLS multi-pairing", o.verifyLat)
+	reg.RegisterHistogram("gossip_verify_sigs", "signatures folded into each multi-pairing", o.verifySigs)
+	reg.RegisterGaugeVec("gossip_frontier", "cosigned frontier size", "source", o.frontier)
+	reg.RegisterGaugeVec("gossip_frontier_lag", "largest signed size seen beyond the cosigned frontier", "source", o.frontierLag)
+	reg.CounterFunc("gossip_equivocation_proofs_total", "equivocation convictions held", func() uint64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		return uint64(len(w.proofs))
+	})
+	reg.GaugeFunc("gossip_journal_failed", "1 after a journal write has failed", func() float64 {
+		w.mu.Lock()
+		defer w.mu.Unlock()
+		if w.journalErr != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Err reports the sticky journal failure (nil while healthy); daemons
+// wire it into their readiness probes.
+func (w *Witness) Err() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.journalErr
+}
+
+// observeVerify records one multi-pairing's size and duration.
+func (o *gossipObs) observeVerify(sigs int, start time.Time) {
+	o.verifySigs.Observe(float64(sigs))
+	o.verifyLat.Observe(time.Since(start).Seconds())
+}
+
+// updateFrontierLocked refreshes the per-source frontier gauges after an
+// ingest touched st. Caller holds w.mu.
+func (w *Witness) updateFrontierLocked(st *sourceState) {
+	var front, lag uint64
+	if st.hasFrontier {
+		front = st.frontier
+	}
+	if st.maxSeen > front {
+		lag = st.maxSeen - front
+	}
+	w.obs.frontier.With(st.name).Set(int64(front))
+	w.obs.frontierLag.With(st.name).Set(int64(lag))
+}

@@ -1,0 +1,48 @@
+package monitor
+
+import "repro/internal/obsv"
+
+// monitorObs holds the monitor's own instruments; counters are bumped
+// inline on the paths they measure (single atomic adds under the lock
+// already held) and exposed via RegisterMetrics.
+type monitorObs struct {
+	appendedLeaves obsv.Counter // envelopes + slashing records appended to the log
+	rejected       obsv.Counter // submissions refused before reaching the log
+	alerts         obsv.Counter // misbehavior proofs raised
+	equivocations  obsv.Counter // gossip equivocation convictions recorded
+	headsSignedEd  obsv.Counter
+	headsSignedBLS obsv.Counter
+}
+
+// RegisterMetrics exposes the monitor's series (and, for a persistent
+// monitor, its store's) on reg under monitor_* / store_* names.
+func (m *Monitor) RegisterMetrics(reg *obsv.Registry) {
+	o := &m.obs
+	reg.RegisterCounter("monitor_appends_total", "leaves appended to the public log", &o.appendedLeaves)
+	reg.RegisterCounter("monitor_rejected_total", "submissions rejected before the log", &o.rejected)
+	reg.RegisterCounter("monitor_alerts_total", "misbehavior proofs raised", &o.alerts)
+	reg.RegisterCounter("monitor_equivocations_total", "log-equivocation convictions recorded", &o.equivocations)
+	reg.RegisterCounter("monitor_heads_signed_ed25519_total", "ed25519 tree heads signed", &o.headsSignedEd)
+	reg.RegisterCounter("monitor_heads_signed_bls_total", "BLS tree heads signed", &o.headsSignedBLS)
+	reg.GaugeFunc("monitor_log_size", "leaves in the public log", func() float64 {
+		return float64(m.Len())
+	})
+	reg.GaugeFunc("monitor_persist_failed", "1 after a best-effort persistence write has failed", func() float64 {
+		if m.Err() != nil {
+			return 1
+		}
+		return 0
+	})
+	if m.store != nil {
+		m.store.RegisterMetrics(reg)
+	}
+}
+
+// Err reports the sticky best-effort persistence failure (nil while
+// healthy). Daemons wire it into their readiness probes; it was
+// previously surfaced only at Close.
+func (m *Monitor) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.persistErr
+}

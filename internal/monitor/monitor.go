@@ -75,7 +75,9 @@ type Monitor struct {
 	sinceSnap     int
 	snapWriting   bool       // a background snapshot write is in flight
 	snapDone      *sync.Cond // on mu; signaled when snapWriting clears
-	persistErr    error      // sticky best-effort failure, surfaced by Close
+	persistErr    error      // sticky best-effort failure; see Err
+
+	obs monitorObs // internal instruments; see RegisterMetrics
 }
 
 // New creates a monitor for a deployment with DefaultShards log stripes.
@@ -253,10 +255,13 @@ func (m *Monitor) SubmitBatch(envs []*audit.AttestedStatusEnvelope) []BatchOutco
 		}
 		if proof != nil {
 			m.alerts = append(m.alerts, *proof)
+			m.obs.alerts.Inc()
 		}
 		m.perDom[name] = append(m.perDom[name], Observation{Envelope: *a.env, LogIndex: idx})
 		out[a.pos] = BatchOutcome{LogIndex: idx, Alert: proof}
 	}
+	m.obs.appendedLeaves.Add(uint64(len(acc)))
+	m.obs.rejected.Add(uint64(len(envs) - len(acc)))
 	m.maybeSnapshotLocked(len(acc))
 	m.notifyAppendLocked()
 	return out
@@ -339,6 +344,9 @@ func (m *Monitor) RecordLogEquivocation(p *gossip.EquivocationProof) (int, error
 		Domain: p.Source,
 		Gossip: p,
 	})
+	m.obs.appendedLeaves.Inc()
+	m.obs.alerts.Inc()
+	m.obs.equivocations.Inc()
 	m.maybeSnapshotLocked(1)
 	m.notifyAppendLocked()
 	return idx, nil
@@ -363,6 +371,7 @@ func (m *Monitor) TreeHead() aolog.SignedHead {
 	if err := m.persistHeadLocked(h.Size, h.Head, h.Signature, "ed25519"); err != nil {
 		m.persistErr = err
 	}
+	m.obs.headsSignedEd.Inc()
 	return h
 }
 
@@ -378,6 +387,7 @@ func (m *Monitor) TreeHeadBLS() (aolog.BLSSignedHead, error) {
 	if err := m.persistHeadLocked(h.Size, h.Head, h.Signature, "bls"); err != nil {
 		return aolog.BLSSignedHead{}, err
 	}
+	m.obs.headsSignedBLS.Inc()
 	return h, nil
 }
 

@@ -1,0 +1,176 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Exposition. Two formats from one registry:
+//
+//   - WritePrometheus emits the Prometheus text format (counters,
+//     gauges, and full cumulative histogram series) for scraping.
+//   - Snapshot flattens everything into a map[string]float64 — the JSON
+//     form served by /metrics.json and by the serve tier's "servestats"
+//     RPC, and what tests assert against. Histograms flatten to
+//     name_count, name_sum, name_max, and interpolated name_p50 /
+//     name_p99 / name_p999.
+//
+// Labeled series use the canonical `name{key="value"}` spelling in both
+// formats; %q escapes backslashes, quotes, and newlines exactly as the
+// Prometheus text rules require.
+
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WritePrometheus writes the registry in Prometheus text exposition
+// format.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.RLock()
+	entries := make([]*entry, len(r.order))
+	copy(entries, r.order)
+	r.mu.RUnlock()
+
+	var b strings.Builder
+	for _, e := range entries {
+		if e.help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", e.name, e.help)
+		}
+		switch {
+		case e.c != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.c.Value())
+		case e.cf != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n%s %d\n", e.name, e.name, e.cf())
+		case e.g != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %d\n", e.name, e.name, e.g.Value())
+		case e.gf != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n%s %s\n", e.name, e.name, fmtFloat(e.gf()))
+		case e.h != nil:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", e.name)
+			writePromHistogram(&b, e.name, "", "", e.h)
+		case e.cv != nil:
+			fmt.Fprintf(&b, "# TYPE %s counter\n", e.name)
+			for _, k := range e.cv.labelValues() {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, e.label, k, e.cv.With(k).Value())
+			}
+		case e.gv != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", e.name)
+			for _, k := range e.gv.labelValues() {
+				fmt.Fprintf(&b, "%s{%s=%q} %d\n", e.name, e.label, k, e.gv.With(k).Value())
+			}
+		case e.hv != nil:
+			fmt.Fprintf(&b, "# TYPE %s histogram\n", e.name)
+			for _, k := range e.hv.labelValues() {
+				writePromHistogram(&b, e.name, e.label, k, e.hv.With(k))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writePromHistogram(b *strings.Builder, name, labelKey, labelVal string, h *Histogram) {
+	cums, count, sum := h.snapshot()
+	extra := ""
+	if labelKey != "" {
+		extra = fmt.Sprintf("%s=%q,", labelKey, labelVal)
+	}
+	for i, cum := range cums {
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = fmtFloat(h.bounds[i])
+		}
+		fmt.Fprintf(b, "%s_bucket{%sle=%q} %d\n", name, extra, le, cum)
+	}
+	suffix := ""
+	if labelKey != "" {
+		suffix = fmt.Sprintf("{%s=%q}", labelKey, labelVal)
+	}
+	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, fmtFloat(sum))
+	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, count)
+}
+
+func (v *CounterVec) labelValues() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	ks := make([]string, len(v.ks))
+	copy(ks, v.ks)
+	sort.Strings(ks)
+	return ks
+}
+
+func (v *GaugeVec) labelValues() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	ks := make([]string, len(v.ks))
+	copy(ks, v.ks)
+	sort.Strings(ks)
+	return ks
+}
+
+func (v *HistogramVec) labelValues() []string {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	ks := make([]string, len(v.ks))
+	copy(ks, v.ks)
+	sort.Strings(ks)
+	return ks
+}
+
+// Snapshot flattens the registry into name -> value. Labeled series use
+// `name{key="value"}` keys; histograms flatten to _count, _sum, _max,
+// _p50, _p99, and _p999.
+func (r *Registry) Snapshot() map[string]float64 {
+	r.mu.RLock()
+	entries := make([]*entry, len(r.order))
+	copy(entries, r.order)
+	r.mu.RUnlock()
+
+	out := make(map[string]float64, len(entries)*2)
+	for _, e := range entries {
+		switch {
+		case e.c != nil:
+			out[e.name] = float64(e.c.Value())
+		case e.cf != nil:
+			out[e.name] = float64(e.cf())
+		case e.g != nil:
+			out[e.name] = float64(e.g.Value())
+		case e.gf != nil:
+			out[e.name] = e.gf()
+		case e.h != nil:
+			snapHistogram(out, e.name, e.h)
+		case e.cv != nil:
+			for _, k := range e.cv.labelValues() {
+				out[fmt.Sprintf("%s{%s=%q}", e.name, e.label, k)] = float64(e.cv.With(k).Value())
+			}
+		case e.gv != nil:
+			for _, k := range e.gv.labelValues() {
+				out[fmt.Sprintf("%s{%s=%q}", e.name, e.label, k)] = float64(e.gv.With(k).Value())
+			}
+		case e.hv != nil:
+			for _, k := range e.hv.labelValues() {
+				snapHistogram(out, fmt.Sprintf("%s{%s=%q}", e.name, e.label, k), e.hv.With(k))
+			}
+		}
+	}
+	return out
+}
+
+func snapHistogram(out map[string]float64, name string, h *Histogram) {
+	out[name+"_count"] = float64(h.Count())
+	out[name+"_sum"] = h.Sum()
+	out[name+"_max"] = h.Max()
+	out[name+"_p50"] = h.Quantile(0.50)
+	out[name+"_p99"] = h.Quantile(0.99)
+	out[name+"_p999"] = h.Quantile(0.999)
+}
+
+// Value returns the snapshot value for an exact series key (0 when
+// absent) — a convenience for tests and in-process consumers like the
+// serve tier's hit-rate computation.
+func (r *Registry) Value(series string) float64 {
+	return r.Snapshot()[series]
+}

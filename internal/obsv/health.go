@@ -1,0 +1,98 @@
+package obsv
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Health is the daemon's liveness/readiness surface. Liveness is
+// unconditional (the process answering /healthz IS the signal);
+// readiness runs named probes, and ANY failing probe makes the daemon
+// not-ready. This is how fail-closed states become operationally
+// visible: the serve tier's poison probe and the monitor's sticky
+// persistence error both flip /readyz to 503 instead of silently
+// refusing RPCs.
+type Health struct {
+	started time.Time
+
+	mu     sync.Mutex
+	names  []string
+	probes map[string]func() error
+}
+
+// NewHealth creates an empty health surface (always live, ready until a
+// probe says otherwise).
+func NewHealth() *Health {
+	return &Health{started: time.Now(), probes: make(map[string]func() error)}
+}
+
+// Set installs (or replaces) a named readiness probe. A probe returns
+// nil when its subsystem can serve.
+func (h *Health) Set(name string, probe func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.probes[name]; !ok {
+		h.names = append(h.names, name)
+		sort.Strings(h.names)
+	}
+	h.probes[name] = probe
+}
+
+// Ready runs every probe and returns the first failure (nil = ready).
+func (h *Health) Ready() error {
+	h.mu.Lock()
+	names := make([]string, len(h.names))
+	copy(names, h.names)
+	probes := make(map[string]func() error, len(h.probes))
+	for k, v := range h.probes {
+		probes[k] = v
+	}
+	h.mu.Unlock()
+	for _, n := range names {
+		if err := probes[n](); err != nil {
+			return fmt.Errorf("%s: %w", n, err)
+		}
+	}
+	return nil
+}
+
+// Report renders every probe's state, one "name: ok|error" line each.
+func (h *Health) Report() string {
+	h.mu.Lock()
+	names := make([]string, len(h.names))
+	copy(names, h.names)
+	probes := make(map[string]func() error, len(h.probes))
+	for k, v := range h.probes {
+		probes[k] = v
+	}
+	h.mu.Unlock()
+	var b strings.Builder
+	for _, n := range names {
+		if err := probes[n](); err != nil {
+			fmt.Fprintf(&b, "%s: %v\n", n, err)
+		} else {
+			fmt.Fprintf(&b, "%s: ok\n", n)
+		}
+	}
+	return b.String()
+}
+
+// Uptime reports how long this health surface has existed.
+func (h *Health) Uptime() time.Duration { return time.Since(h.started) }
+
+// Register exposes readiness and uptime as metrics, so a scrape alone
+// shows a not-ready daemon (readyz 0/1 mirrors the /readyz endpoint).
+func (h *Health) Register(reg *Registry) {
+	reg.GaugeFunc("process_ready", "1 when every readiness probe passes", func() float64 {
+		if h.Ready() != nil {
+			return 0
+		}
+		return 1
+	})
+	reg.GaugeFunc("process_uptime_seconds", "seconds since daemon start", func() float64 {
+		return h.Uptime().Seconds()
+	})
+}

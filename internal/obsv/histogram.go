@@ -1,0 +1,155 @@
+package obsv
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets is the default histogram layout: factor-of-two upper
+// bounds from 250ns to ~16s, in seconds. Factor-2 spacing bounds the
+// within-bucket error of interpolated quantiles to 2x, which is enough
+// to tell a 3µs cache hit from a 300µs proof computation from a 30ms
+// fsync.
+var LatencyBuckets = func() []float64 {
+	b := make([]float64, 27)
+	v := 250e-9
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// SizeBuckets is a power-of-two layout for count-valued histograms
+// (batch sizes, fan-outs): 1, 2, 4, ..., 65536.
+var SizeBuckets = func() []float64 {
+	b := make([]float64, 17)
+	v := 1.0
+	for i := range b {
+		b[i] = v
+		v *= 2
+	}
+	return b
+}()
+
+// Histogram counts observations into fixed buckets. Observe is two
+// atomic adds plus a bounded scan over the bucket bounds and never
+// allocates; snapshots are lock-free and may be slightly torn between
+// count and sum under concurrent writes (fine for monitoring). The
+// histogram also tracks the maximum observed value, which bucket counts
+// alone cannot recover.
+type Histogram struct {
+	bounds  []float64
+	counts  []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64 // float64 bits, CAS-add
+	maxBits atomic.Uint64 // float64 bits, CAS-max
+}
+
+// NewHistogram creates a histogram with the given upper bounds (must be
+// sorted ascending; nil = LatencyBuckets).
+func NewHistogram(bounds []float64) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("obsv: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			break
+		}
+	}
+	for {
+		old := h.maxBits.Load()
+		if v <= math.Float64frombits(old) && old != 0 {
+			break
+		}
+		if h.maxBits.CompareAndSwap(old, math.Float64bits(v)) {
+			break
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Since records the time elapsed since t0, in seconds.
+func (h *Histogram) Since(t0 time.Time) { h.ObserveDuration(time.Since(t0)) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Max returns the largest observed value (0 when empty).
+func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation inside the bucket that contains it. The top (+Inf)
+// bucket reports its lower bound; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum uint64
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		if n == 0 {
+			cum += n
+			continue
+		}
+		if float64(cum+n) >= rank {
+			lo := 0.0
+			if i > 0 {
+				lo = h.bounds[i-1]
+			}
+			if i >= len(h.bounds) {
+				return lo // +Inf bucket: best effort, report its floor
+			}
+			hi := h.bounds[i]
+			frac := (rank - float64(cum)) / float64(n)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += n
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// snapshot returns (bucket cumulative counts aligned to bounds plus
+// +Inf, count, sum) for exposition.
+func (h *Histogram) snapshot() (cums []uint64, count uint64, sum float64) {
+	cums = make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		cums[i] = cum
+	}
+	return cums, h.count.Load(), h.Sum()
+}

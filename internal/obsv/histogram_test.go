@@ -1,0 +1,90 @@
+package obsv
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	if got := h.Sum(); got != 105 {
+		t.Fatalf("sum = %v, want 105", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %v, want 100", got)
+	}
+	cums, count, sum := h.snapshot()
+	want := []uint64{1, 2, 3, 4} // le=1, le=2, le=4, +Inf (cumulative)
+	for i, c := range cums {
+		if c != want[i] {
+			t.Fatalf("cumulative bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+	if count != 4 || sum != 105 {
+		t.Fatalf("snapshot count/sum = %d/%v, want 4/105", count, sum)
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("empty histogram quantile = %v, want 0", got)
+	}
+	// 100 observations uniformly inside (1, 2].
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	p50 := h.Quantile(0.5)
+	if p50 < 1 || p50 > 2 {
+		t.Fatalf("p50 = %v, want inside the (1,2] bucket", p50)
+	}
+	// Interpolation: rank 50 of 100 in a bucket spanning [1,2] is 1.5.
+	if math.Abs(p50-1.5) > 1e-9 {
+		t.Fatalf("p50 = %v, want 1.5 by linear interpolation", p50)
+	}
+
+	// Values beyond the last bound land in +Inf and report its floor.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(50)
+	if got := h2.Quantile(0.99); got != 1 {
+		t.Fatalf("+Inf-bucket quantile = %v, want the floor 1", got)
+	}
+}
+
+func TestHistogramDurationHelpers(t *testing.T) {
+	h := NewHistogram(nil)
+	h.ObserveDuration(3 * time.Millisecond)
+	h.Since(time.Now().Add(-2 * time.Millisecond))
+	if got := h.Count(); got != 2 {
+		t.Fatalf("count = %d, want 2", got)
+	}
+	if h.Sum() < 0.004 || h.Sum() > 1 {
+		t.Fatalf("sum = %v, want a few milliseconds", h.Sum())
+	}
+}
+
+func TestHistogramBadBoundsPanic(t *testing.T) {
+	mustPanic(t, "non-ascending bounds", func() { NewHistogram([]float64{1, 1}) })
+}
+
+func TestDefaultBucketLayouts(t *testing.T) {
+	if LatencyBuckets[0] != 250e-9 {
+		t.Fatalf("LatencyBuckets[0] = %v, want 250ns", LatencyBuckets[0])
+	}
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] != LatencyBuckets[i-1]*2 {
+			t.Fatalf("LatencyBuckets not factor-2 at %d", i)
+		}
+	}
+	if SizeBuckets[0] != 1 || SizeBuckets[len(SizeBuckets)-1] != 65536 {
+		t.Fatalf("SizeBuckets span = [%v, %v], want [1, 65536]",
+			SizeBuckets[0], SizeBuckets[len(SizeBuckets)-1])
+	}
+}

@@ -1,0 +1,50 @@
+package obsv
+
+import (
+	"context"
+	"io"
+	"log/slog"
+)
+
+// Structured logging glue. The daemons log through log/slog with a
+// consistent base field set (component, plus per-line attrs like
+// source, epoch, tree size); NewLogger wraps the text handler so that
+// any log call made with a context carrying a sampled trace is stamped
+// with trace_id/span_id automatically — the join key between logs and
+// the /traces ring.
+
+type traceLogHandler struct {
+	inner slog.Handler
+}
+
+func (h *traceLogHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h *traceLogHandler) Handle(ctx context.Context, r slog.Record) error {
+	if tc := TraceFrom(ctx); tc.Valid() && tc.Sampled() {
+		r = r.Clone()
+		r.AddAttrs(slog.String("trace_id", tc.String()))
+	}
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *traceLogHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &traceLogHandler{inner: h.inner.WithAttrs(attrs)}
+}
+
+func (h *traceLogHandler) WithGroup(name string) slog.Handler {
+	return &traceLogHandler{inner: h.inner.WithGroup(name)}
+}
+
+// NewLogger builds a structured logger for one daemon: text format on
+// w, a constant component attribute, level configurable via lvl (nil =
+// Info), and automatic trace_id injection for context-ful calls.
+func NewLogger(w io.Writer, component string, lvl slog.Leveler) *slog.Logger {
+	opts := &slog.HandlerOptions{}
+	if lvl != nil {
+		opts.Level = lvl
+	}
+	inner := slog.NewTextHandler(w, opts).WithAttrs([]slog.Attr{slog.String("component", component)})
+	return slog.New(&traceLogHandler{inner: inner})
+}

@@ -234,13 +234,13 @@ func TestSubscriberHammer(t *testing.T) {
 	if received == 0 {
 		t.Fatal("no heads were pushed at all")
 	}
-	st := tier.Stats()
-	if st.HeadsSigned > uint64(appendBatches)+2 {
-		t.Fatalf("signed %d heads for %d append batches: per-client signing leaked back in", st.HeadsSigned, appendBatches)
+	signed := tier.Metrics().Value("serve_heads_signed_total")
+	if signed > float64(appendBatches)+2 {
+		t.Fatalf("signed %v heads for %d append batches: per-client signing leaked back in", signed, appendBatches)
 	}
 	for _, s := range clients {
 		s.Close()
 	}
-	t.Logf("hammer: %d subscribers, %d heads received, %d signed, %d pushed",
-		subs, received, st.HeadsSigned, st.HeadsPushed)
+	t.Logf("hammer: %d subscribers, %d heads received, %v signed, %v pushed",
+		subs, received, signed, tier.Metrics().Value("serve_heads_pushed_total"))
 }

@@ -104,6 +104,38 @@ func (h *Hub) Subscribers() int {
 	return len(h.subs)
 }
 
+// pushedCount and droppedCount read the hub's lifetime counters (bound
+// into the metric registry as serve_heads_pushed_total / _dropped_total).
+func (h *Hub) pushedCount() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.pushed
+}
+
+func (h *Hub) droppedCount() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.dropped
+}
+
+// pendingTotal sums heads queued but not yet flushed across all
+// subscribers — the push-path backlog gauge.
+func (h *Hub) pendingTotal() int {
+	h.mu.Lock()
+	subs := make([]*hubSub, 0, len(h.subs))
+	for _, s := range h.subs {
+		subs = append(subs, s)
+	}
+	h.mu.Unlock()
+	total := 0
+	for _, s := range subs {
+		s.mu.Lock()
+		total += len(s.heads)
+		s.mu.Unlock()
+	}
+	return total
+}
+
 // Close drops every subscription. Connections stay open (the transport
 // server owns them).
 func (h *Hub) Close() {

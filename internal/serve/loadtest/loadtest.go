@@ -20,7 +20,6 @@ import (
 	"crypto/ed25519"
 	"crypto/rand"
 	"fmt"
-	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +29,7 @@ import (
 	"repro/internal/domain"
 	"repro/internal/framework"
 	"repro/internal/monitor"
+	"repro/internal/obsv"
 	"repro/internal/serve"
 	"repro/internal/tee"
 )
@@ -44,7 +44,11 @@ type Options struct {
 	ProofOnly         bool // with Uncached: skip the per-request head signature
 }
 
-// Result is one scenario's measurement.
+// Result is one scenario's measurement. Latency percentiles come from
+// an obsv.Histogram shared by all client goroutines (lock-free atomic
+// bucket counts — recording a sample costs the same as the serving
+// tier's own instrumentation), so quantiles carry its factor-2 bucket
+// resolution rather than exact-sort precision.
 type Result struct {
 	Scenario   string  `json:"scenario"`
 	Clients    int     `json:"clients"`
@@ -53,11 +57,15 @@ type Result struct {
 	Throughput float64 `json:"throughput_rps"`
 	P50us      float64 `json:"p50_us"`
 	P99us      float64 `json:"p99_us"`
+	P999us     float64 `json:"p999_us"`
 	MaxUs      float64 `json:"max_us"`
 	HitRate    float64 `json:"cache_hit_rate"`
 	Errors     int     `json:"errors"`
 
-	Stats *serve.Stats `json:"serve_stats,omitempty"`
+	// Metrics is the tier's registry snapshot after the run (cached
+	// scenarios only) — the same flattened series map "servestats"
+	// returns on the wire.
+	Metrics map[string]float64 `json:"serve_metrics,omitempty"`
 }
 
 // Fixture is a fully provisioned monitor + serving tier over a seeded
@@ -179,8 +187,8 @@ func Run(f *Fixture, opts Options) (*Result, error) {
 		}
 	}
 
-	statsBefore := f.Tier.Stats()
-	perClient := make([][]time.Duration, opts.Clients)
+	before := f.Tier.Metrics().Snapshot()
+	lat := obsv.NewHistogram(nil)
 	errCounts := make([]int, opts.Clients)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -188,7 +196,6 @@ func Run(f *Fixture, opts Options) (*Result, error) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, opts.RequestsPerClient)
 			for r := 0; r < opts.RequestsPerClient; r++ {
 				idx := base + (c*7919+r)%hot // deterministic spread over the hot set
 				t0 := time.Now()
@@ -203,56 +210,45 @@ func Run(f *Fixture, opts Options) (*Result, error) {
 				} else {
 					_, err = f.Tier.Proof(&serve.ProofRequest{Index: idx})
 				}
-				lat = append(lat, time.Since(t0))
+				lat.Since(t0)
 				if err != nil {
 					errCounts[c]++
 				}
 			}
-			perClient[c] = lat
 		}(c)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	all := make([]time.Duration, 0, opts.Clients*opts.RequestsPerClient)
 	errors := 0
-	for c := range perClient {
-		all = append(all, perClient[c]...)
-		errors += errCounts[c]
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	pct := func(p float64) float64 {
-		if len(all) == 0 {
-			return 0
-		}
-		return float64(all[int(float64(len(all)-1)*p)].Nanoseconds()) / 1e3
+	for _, n := range errCounts {
+		errors += n
 	}
 
 	res := &Result{
 		Scenario:   name,
 		Clients:    opts.Clients,
-		Requests:   len(all),
+		Requests:   int(lat.Count()),
 		DurationMS: float64(elapsed.Nanoseconds()) / 1e6,
-		Throughput: float64(len(all)) / elapsed.Seconds(),
-		P50us:      pct(0.50),
-		P99us:      pct(0.99),
-		MaxUs:      pct(1.0),
+		Throughput: float64(lat.Count()) / elapsed.Seconds(),
+		P50us:      lat.Quantile(0.50) * 1e6,
+		P99us:      lat.Quantile(0.99) * 1e6,
+		P999us:     lat.Quantile(0.999) * 1e6,
+		MaxUs:      lat.Max() * 1e6,
 		Errors:     errors,
 	}
 	if !opts.Uncached {
-		st := f.Tier.Stats()
-		delta := serve.Stats{
-			Hits:      st.Hits - statsBefore.Hits,
-			Misses:    st.Misses - statsBefore.Misses,
-			Coalesced: st.Coalesced - statsBefore.Coalesced,
-		}
-		total := delta.Hits + delta.Misses + delta.Coalesced
-		if total > 0 {
+		after := f.Tier.Metrics().Snapshot()
+		delta := func(series string) float64 { return after[series] - before[series] }
+		hits := delta("serve_cache_hits_total")
+		misses := delta("serve_cache_misses_total")
+		coalesced := delta("serve_cache_coalesced_total")
+		if total := hits + misses + coalesced; total > 0 {
 			// Coalesced waiters shared a computation they did not run;
 			// they count as amortized alongside plain hits.
-			res.HitRate = float64(delta.Hits+delta.Coalesced) / float64(total)
+			res.HitRate = (hits + coalesced) / total
 		}
-		res.Stats = &st
+		res.Metrics = after
 	}
 	return res, nil
 }

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/aolog"
 	"repro/internal/gossip"
+	"repro/internal/obsv"
 	"repro/internal/transport"
 )
 
@@ -57,7 +58,8 @@ const (
 	KindSubscribe = "subscribe"
 	// KindUnsubscribe removes the connection's subscription.
 	KindUnsubscribe = "unsubscribe"
-	// KindServeStats reports cache/admission/push counters.
+	// KindServeStats reports the tier's metric registry snapshot (the
+	// flattened obsv series map; same shape as /metrics.json).
 	KindServeStats = "servestats"
 	// KindPushHeads is the server-initiated sub-request kind inside
 	// pushed _batch frames; its body is a gossip.HeadsMessage.
@@ -122,21 +124,6 @@ type SubscribeResponse struct {
 	Heads []gossip.GossipHead `json:"heads,omitempty"`
 }
 
-// Stats is the serving tier's counter snapshot.
-type Stats struct {
-	HeadSize     uint64 `json:"head_size"`
-	CacheEntries int    `json:"cache_entries"`
-	Hits         uint64 `json:"hits"`
-	Misses       uint64 `json:"misses"`
-	Coalesced    uint64 `json:"coalesced"`
-	Evictions    uint64 `json:"evictions"`
-	Refused      uint64 `json:"refused"`   // admission refusals
-	Degraded     uint64 `json:"degraded"`  // refusals answered stale
-	HeadsSigned  uint64 `json:"heads_signed"`
-	Subscribers  int    `json:"subscribers"`
-	HeadsPushed  uint64 `json:"heads_pushed"`
-}
-
 // Backend is the log state the tier serves. *monitor.Monitor implements
 // it; tests and benchmarks may substitute lighter fakes.
 type Backend interface {
@@ -175,6 +162,10 @@ type Options struct {
 	// cosignatures locally; the witness tier pushes its frontier's
 	// cosignatures instead).
 	Cosign func(aolog.BLSSignedHead) []gossip.Cosignature
+	// Metrics is the registry the tier publishes its serve_* series on
+	// (nil: a private registry, reachable via Tier.Metrics). One tier
+	// per registry — the serve_* names are unqualified.
+	Metrics *obsv.Registry
 }
 
 // headSnap is one published head: both signatures, the push form, and
@@ -191,6 +182,7 @@ type headSnap struct {
 type Tier struct {
 	b    Backend
 	opts Options
+	reg  *obsv.Registry
 
 	cache *proofCache
 	gate  *gate
@@ -221,15 +213,20 @@ func Attach(b Backend, opts Options) (*Tier, error) {
 	if opts.MaxWaiters == 0 {
 		opts.MaxWaiters = 1024
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = obsv.NewRegistry()
+	}
 	t := &Tier{
 		b:      b,
 		opts:   opts,
+		reg:    opts.Metrics,
 		cache:  newProofCache(opts.CacheEntries),
 		gate:   newGate(opts.MaxInFlight, opts.MaxWaiters),
 		hub:    NewHub(opts.Source),
 		kick:   make(chan struct{}, 1),
 		closed: make(chan struct{}),
 	}
+	t.registerMetrics()
 	snap, err := t.sign()
 	if err != nil {
 		return nil, fmt.Errorf("serve: signing initial head: %w", err)
@@ -518,27 +515,69 @@ func (t *Tier) CurrentHeads() []gossip.GossipHead {
 	return []gossip.GossipHead{t.head.Load().gh}
 }
 
-// Stats snapshots the tier's counters.
-func (t *Tier) Stats() Stats {
-	cs := t.cache.stats()
-	snap := t.head.Load()
-	t.hub.mu.Lock()
-	pushed := t.hub.pushed
-	subs := len(t.hub.subs)
-	t.hub.mu.Unlock()
-	return Stats{
-		HeadSize:     uint64(snap.size),
-		CacheEntries: cs.Entries,
-		Hits:         cs.Hits,
-		Misses:       cs.Misses,
-		Coalesced:    cs.Coalesced,
-		Evictions:    cs.Evictions,
-		Refused:      t.gate.refused.Load(),
-		Degraded:     t.degraded.Load(),
-		HeadsSigned:  t.headsSigned.Load(),
-		Subscribers:  subs,
-		HeadsPushed:  pushed,
+// Metrics returns the registry carrying the tier's serve_* series (the
+// one from Options.Metrics, or the private default).
+func (t *Tier) Metrics() *obsv.Registry { return t.reg }
+
+// Unhealthy returns the poison error once the tier has failed closed,
+// nil while healthy. Daemons wire it into their readiness probes so a
+// poisoned tier flips /readyz instead of hiding behind RPC errors.
+func (t *Tier) Unhealthy() error { return t.failed() }
+
+// Poison marks the tier failed-closed with an operator-supplied cause —
+// the kill switch for incident response, and the fault-injection hook
+// the health-surface tests flip. Irreversible, like internal poisoning.
+func (t *Tier) Poison(err error) {
+	if err == nil {
+		err = errors.New("poisoned by operator")
 	}
+	t.poison(err)
+}
+
+// registerMetrics binds every tier counter to the registry. The hot
+// paths keep their existing atomics and mutex-guarded counters; the
+// registry reads them lazily at scrape time, so serving costs nothing
+// extra per request.
+func (t *Tier) registerMetrics() {
+	reg := t.reg
+	reg.GaugeFunc("serve_head_size", "tree size of the current published head", func() float64 {
+		if snap := t.head.Load(); snap != nil {
+			return float64(snap.size)
+		}
+		return 0
+	})
+	reg.GaugeFunc("serve_poisoned", "1 once the tier has failed closed and refuses to serve", func() float64 {
+		if t.failed() != nil {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("serve_cache_entries", "proofs resident in the LRU cache", func() float64 {
+		return float64(t.cache.stats().Entries)
+	})
+	reg.CounterFunc("serve_cache_hits_total", "proof requests answered from cache", func() uint64 {
+		return t.cache.stats().Hits
+	})
+	reg.CounterFunc("serve_cache_misses_total", "proof requests that computed fresh state", func() uint64 {
+		return t.cache.stats().Misses
+	})
+	reg.CounterFunc("serve_cache_coalesced_total", "proof requests that joined an in-flight computation", func() uint64 {
+		return t.cache.stats().Coalesced
+	})
+	reg.CounterFunc("serve_cache_evictions_total", "cache entries evicted at capacity", func() uint64 {
+		return t.cache.stats().Evictions
+	})
+	reg.CounterFunc("serve_admission_refused_total", "proof computations refused by the admission gate", t.gate.refused.Load)
+	reg.CounterFunc("serve_degraded_total", "refused requests answered from the stale-but-verified head", t.degraded.Load)
+	reg.CounterFunc("serve_heads_signed_total", "tree heads signed (once per size, not per client)", t.headsSigned.Load)
+	reg.GaugeFunc("serve_subscribers", "live push subscriptions", func() float64 {
+		return float64(t.hub.Subscribers())
+	})
+	reg.CounterFunc("serve_heads_pushed_total", "heads enqueued for push across all subscribers", t.hub.pushedCount)
+	reg.CounterFunc("serve_heads_dropped_total", "heads dropped at enqueue (regressions and overflow)", t.hub.droppedCount)
+	reg.GaugeFunc("serve_push_pending", "heads currently queued for push across all subscribers", func() float64 {
+		return float64(t.hub.pendingTotal())
+	})
 }
 
 // Register installs the tier's RPC kinds on a transport server. It
@@ -567,7 +606,7 @@ func (t *Tier) Register(srv *transport.Server) {
 		return t.Proof(&req)
 	})
 	srv.Handle(KindServeStats, func(json.RawMessage) (any, error) {
-		return t.Stats(), nil
+		return t.reg.Snapshot(), nil
 	})
 	RegisterHub(srv, t.hub, t.CurrentHeads)
 }

@@ -229,9 +229,10 @@ func TestCachedProofsMatchFreshAcrossHeads(t *testing.T) {
 		}
 	}
 
-	st := tier.Stats()
-	if st.Hits == 0 || st.Misses == 0 || st.Hits < st.Misses {
-		t.Fatalf("cache did not amortize: %+v", st)
+	hits := tier.Metrics().Value("serve_cache_hits_total")
+	misses := tier.Metrics().Value("serve_cache_misses_total")
+	if hits == 0 || misses == 0 || hits < misses {
+		t.Fatalf("cache did not amortize: hits=%v misses=%v", hits, misses)
 	}
 	// A proof request without an explicit size binds to the current head
 	// and carries its signature.
@@ -526,8 +527,10 @@ func TestBackpressureDegradesToStaleVerifiedHead(t *testing.T) {
 	if err := <-slowDone; err != nil {
 		t.Fatalf("slow client errored: %v", err)
 	}
-	if st := tier.Stats(); st.Refused == 0 || st.Degraded == 0 {
-		t.Fatalf("admission counters never moved: %+v", st)
+	refused := tier.Metrics().Value("serve_admission_refused_total")
+	degraded := tier.Metrics().Value("serve_degraded_total")
+	if refused == 0 || degraded == 0 {
+		t.Fatalf("admission counters never moved: refused=%v degraded=%v", refused, degraded)
 	}
 }
 
@@ -577,9 +580,8 @@ func TestCoalescingSingleFlight(t *testing.T) {
 	if n := fb.inclusions.Load(); n != 1 {
 		t.Fatalf("computation ran %d times for one key, want 1", n)
 	}
-	st := tier.Stats()
-	if st.Coalesced != callers-1 {
-		t.Fatalf("coalesced = %d, want %d", st.Coalesced, callers-1)
+	if coalesced := tier.Metrics().Value("serve_cache_coalesced_total"); coalesced != callers-1 {
+		t.Fatalf("coalesced = %v, want %d", coalesced, callers-1)
 	}
 
 	// Errors are never cached: a request past the log end fails every
@@ -587,11 +589,11 @@ func TestCoalescingSingleFlight(t *testing.T) {
 	if _, err := tier.Proof(&ProofRequest{Index: 99}); err == nil {
 		t.Fatal("out-of-range proof succeeded")
 	}
-	before := tier.Stats().CacheEntries
+	before := tier.Metrics().Value("serve_cache_entries")
 	if _, err := tier.Proof(&ProofRequest{Index: 99}); err == nil {
 		t.Fatal("out-of-range proof succeeded on retry")
 	}
-	if after := tier.Stats().CacheEntries; after != before {
+	if after := tier.Metrics().Value("serve_cache_entries"); after != before {
 		t.Fatal("failed computation was cached")
 	}
 }

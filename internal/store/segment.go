@@ -25,6 +25,7 @@ type segmentShard struct {
 	dir    string
 	max    int64 // roll to a new file past this many bytes
 	noSync bool
+	obs    *storeObs // set by the owning Store after open; nil in isolation
 
 	count int // durable leaves in this shard (local indexes [0, count))
 	f     *os.File
@@ -120,6 +121,9 @@ func (s *segmentShard) roll() error {
 		return err
 	}
 	s.f, s.size, s.first = f, 0, s.count
+	if s.obs != nil {
+		s.obs.segmentRolls.Inc()
+	}
 	if s.noSync {
 		return nil
 	}

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"time"
 )
 
 // Snapshot is a point-in-time capture of state *derived* from the first
@@ -59,6 +60,7 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	if snap == nil || snap.Size < 0 {
 		return errors.New("store: invalid snapshot")
 	}
+	start := time.Now()
 	cp := *snap
 	cp.Checksum = cp.computeChecksum()
 	data, err := json.Marshal(&cp)
@@ -72,6 +74,8 @@ func (s *Store) WriteSnapshot(snap *Snapshot) error {
 	s.mu.Lock()
 	s.snap = &cp
 	s.mu.Unlock()
+	s.obs.snapshots.Inc()
+	observeDur(s.obs.snapshotLat, start)
 	return nil
 }
 

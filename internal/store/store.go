@@ -80,6 +80,7 @@ type RecoveryInfo struct {
 type Store struct {
 	dir  string
 	opts Options
+	obs  *storeObs
 
 	mu       sync.Mutex
 	err      error // sticky: a failed WAL/segment write poisons the store
@@ -129,7 +130,7 @@ func Open(dir string, opts Options) (*Store, error) {
 		return nil, err
 	}
 
-	s := &Store{dir: dir, opts: o, shards: make([]*segmentShard, o.Shards)}
+	s := &Store{dir: dir, opts: o, obs: newStoreObs(), shards: make([]*segmentShard, o.Shards)}
 
 	// 1. Settled leaves from segment files, placed by global index.
 	var leaves [][]byte
@@ -150,6 +151,7 @@ func Open(dir string, opts Options) (*Store, error) {
 			return nil, err
 		}
 		s.shards[j] = sh
+		sh.obs = s.obs
 		fromSegments += len(shardLeaves)
 		for local, payload := range shardLeaves {
 			place(local*k+j, payload)
@@ -214,7 +216,7 @@ func Open(dir string, opts Options) (*Store, error) {
 
 	// 3. Fresh WAL file; old files are retired at the next checkpoint.
 	s.walSeq = maxSeq + 1
-	w, err := createWAL(filepath.Join(walDir, walName(s.walSeq)), o.NoSync)
+	w, err := createWAL(filepath.Join(walDir, walName(s.walSeq)), o.NoSync, s.obs)
 	if err != nil {
 		return nil, err
 	}
@@ -335,6 +337,8 @@ func (s *Store) AppendLeaves(payloads [][]byte) error {
 	s.total += len(payloads)
 	s.pending = append(s.pending, payloads...)
 	s.walBytes += int64(len(buf))
+	s.obs.appendBatches.Inc()
+	s.obs.appendedLeaves.Add(uint64(len(payloads)))
 	needCheckpoint := s.walBytes >= s.opts.FlushThresholdBytes
 	w := s.wal // a concurrent checkpoint may rotate s.wal; sync OUR file
 	s.mu.Unlock()
@@ -367,6 +371,7 @@ func (s *Store) checkpointLocked() error {
 	if len(s.pending) == 0 && s.walBytes == 0 {
 		return nil
 	}
+	cpStart := time.Now()
 	k := s.opts.Shards
 	touched := make(map[int]bool)
 	for i, payload := range s.pending {
@@ -392,7 +397,7 @@ func (s *Store) checkpointLocked() error {
 	walDir := filepath.Join(s.dir, "wal")
 	oldPath := filepath.Join(walDir, walName(s.walSeq))
 	s.walSeq++
-	w, err := createWAL(filepath.Join(walDir, walName(s.walSeq)), s.opts.NoSync)
+	w, err := createWAL(filepath.Join(walDir, walName(s.walSeq)), s.opts.NoSync, s.obs)
 	if err != nil {
 		s.err = err
 		return err
@@ -408,6 +413,7 @@ func (s *Store) checkpointLocked() error {
 	s.walBytes = 0
 	s.base = s.total
 	s.pending = nil
+	s.obs.walRotations.Inc()
 	if err := old.close(); err != nil && s.err == nil {
 		s.err = err
 		return err
@@ -422,6 +428,8 @@ func (s *Store) checkpointLocked() error {
 			return err
 		}
 	}
+	s.obs.checkpoints.Inc()
+	observeDur(s.obs.checkpointLat, cpStart)
 	return nil
 }
 

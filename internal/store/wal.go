@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"os"
 	"sync"
+	"time"
 )
 
 // wal is one write-ahead-log file with group-committed fsyncs.
@@ -19,6 +20,7 @@ type wal struct {
 	f      *os.File
 	path   string
 	noSync bool
+	obs    *storeObs
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -28,12 +30,12 @@ type wal struct {
 	err     error // sticky: a failed write or fsync poisons the WAL
 }
 
-func createWAL(path string, noSync bool) (*wal, error) {
+func createWAL(path string, noSync bool, obs *storeObs) (*wal, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	w := &wal{f: f, path: path, noSync: noSync}
+	w := &wal{f: f, path: path, noSync: noSync, obs: obs}
 	w.cond = sync.NewCond(&w.mu)
 	return w, nil
 }
@@ -79,7 +81,10 @@ func (w *wal) syncTo(end int64) error {
 		w.syncing = true
 		target := w.written // everything written before this fsync is covered
 		w.mu.Unlock()
+		syncStart := time.Now()
 		err := w.f.Sync()
+		w.obs.fsyncs.Inc()
+		observeDur(w.obs.fsyncLatency, syncStart)
 		w.mu.Lock()
 		w.syncing = false
 		if err != nil {

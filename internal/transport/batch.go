@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -49,8 +50,9 @@ func (r *BatchResult) Decode(out any) error {
 }
 
 // dispatchBatch unpacks a batch envelope and runs each sub-request through
-// the ordinary dispatch path.
-func (s *Server) dispatchBatch(req *Request) *Response {
+// the ordinary dispatch path (so per-kind metrics and spans cover batched
+// sub-requests too, under the same trace as the enclosing frame).
+func (s *Server) dispatchBatch(ctx context.Context, req *Request) *Response {
 	var subs []Request
 	if err := json.Unmarshal(req.Body, &subs); err != nil {
 		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("malformed batch body: %v", err)}
@@ -58,13 +60,16 @@ func (s *Server) dispatchBatch(req *Request) *Response {
 	if len(subs) > MaxBatchCalls {
 		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("batch of %d exceeds limit %d", len(subs), MaxBatchCalls)}
 	}
+	if obs := s.observability(); obs != nil {
+		obs.batchSize.Observe(float64(len(subs)))
+	}
 	resps := make([]Response, len(subs))
 	for i := range subs {
 		if subs[i].Kind == BatchKind || s.isNoBatch(subs[i].Kind) {
 			resps[i] = Response{ID: subs[i].ID, OK: false, Error: fmt.Sprintf("kind %q not allowed inside a batch", subs[i].Kind)}
 			continue
 		}
-		resps[i] = *s.dispatch(&subs[i])
+		resps[i] = *s.dispatchConn(ctx, &subs[i], nil)
 	}
 	enc, err := json.Marshal(resps)
 	if err != nil {

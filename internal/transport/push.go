@@ -37,6 +37,7 @@ type Pusher struct {
 	conn net.Conn
 	mu   sync.Mutex
 	done chan struct{}
+	obs  *serverObs // owning server's instruments; nil when uninstrumented
 }
 
 func newPusher(conn net.Conn) *Pusher {
@@ -76,7 +77,14 @@ func (p *Pusher) Push(subs []Request) error {
 		return fmt.Errorf("transport: encoding push envelope: %w", err)
 	}
 	if err := p.writeFrame(frame); err != nil {
+		if p.obs != nil {
+			p.obs.pushErrs.Inc()
+		}
 		return err
+	}
+	if p.obs != nil {
+		p.obs.pushes.Inc()
+		p.obs.tx.Add(uint64(4 + len(frame)))
 	}
 	return nil
 }

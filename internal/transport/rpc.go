@@ -1,11 +1,15 @@
 package transport
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/obsv"
 )
 
 // Request is the client->server envelope.
@@ -26,23 +30,47 @@ type Response struct {
 // Handler processes one request body and returns a response body.
 type Handler func(body json.RawMessage) (any, error)
 
+// HandlerCtx is a Handler that additionally receives the request
+// context. When the frame arrived with a trace header, the context
+// carries the obsv.TraceContext — handlers propagate it to downstream
+// RPCs (CallCtx) and context-ful slog calls.
+type HandlerCtx func(ctx context.Context, body json.RawMessage) (any, error)
+
 // Server dispatches framed JSON requests to registered handlers.
 // All exported methods are safe for concurrent use.
 type Server struct {
 	mu           sync.RWMutex
-	handlers     map[string]Handler
+	handlers     map[string]HandlerCtx
 	pushHandlers map[string]PushHandler
 	noBatch      map[string]bool
 	ln           net.Listener
 	wg           sync.WaitGroup
 	closed       chan struct{}
 	conns        map[net.Conn]struct{}
+
+	obs *serverObs // nil until Instrument; set before Serve
+}
+
+// serverObs holds the server's telemetry instruments (per-kind request
+// counts, error counts and latency, byte counters, batch sizes) plus
+// the tracer that turns incoming trace headers into server spans.
+type serverObs struct {
+	tracer    *obsv.Tracer
+	reqs      *obsv.CounterVec
+	errs      *obsv.CounterVec
+	lat       *obsv.HistogramVec
+	rx        *obsv.Counter
+	tx        *obsv.Counter
+	batchSize *obsv.Histogram
+	pushes    *obsv.Counter
+	pushErrs  *obsv.Counter
+	badFrames *obsv.Counter
 }
 
 // NewServer creates an empty server.
 func NewServer() *Server {
 	return &Server{
-		handlers:     make(map[string]Handler),
+		handlers:     make(map[string]HandlerCtx),
 		pushHandlers: make(map[string]PushHandler),
 		noBatch:      make(map[string]bool),
 		closed:       make(chan struct{}),
@@ -50,8 +78,39 @@ func NewServer() *Server {
 	}
 }
 
+// Instrument registers the server's RPC metrics on reg and, when tracer
+// is non-nil, opens one server span per request of a sampled trace.
+// Call before Serve; the hot path reads the instruments without locks.
+func (s *Server) Instrument(reg *obsv.Registry, tracer *obsv.Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.obs = &serverObs{
+		tracer:    tracer,
+		reqs:      reg.CounterVec("rpc_requests_total", "RPC requests dispatched, by kind", "kind"),
+		errs:      reg.CounterVec("rpc_errors_total", "RPC requests answered with an error, by kind", "kind"),
+		lat:       reg.HistogramVec("rpc_latency_seconds", "RPC handler latency, by kind", "kind", nil),
+		rx:        reg.Counter("rpc_rx_bytes_total", "request frame bytes received"),
+		tx:        reg.Counter("rpc_tx_bytes_total", "response frame bytes sent"),
+		batchSize: reg.HistogramBuckets("rpc_batch_calls", "sub-requests per _batch frame", obsv.SizeBuckets),
+		pushes:    reg.Counter("rpc_pushed_frames_total", "server-initiated push frames written"),
+		pushErrs:  reg.Counter("rpc_push_errors_total", "push frame writes that failed"),
+		badFrames: reg.Counter("rpc_bad_frames_total", "connections dropped on malformed frames"),
+	}
+}
+
+func (s *Server) observability() *serverObs {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.obs
+}
+
 // Handle registers a handler for a request kind.
 func (s *Server) Handle(kind string, h Handler) {
+	s.HandleCtx(kind, func(_ context.Context, body json.RawMessage) (any, error) { return h(body) })
+}
+
+// HandleCtx registers a context-aware handler for a request kind.
+func (s *Server) HandleCtx(kind string, h HandlerCtx) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.handlers[kind] = h
@@ -64,7 +123,7 @@ func (s *Server) Handle(kind string, h Handler) {
 func (s *Server) HandleNoBatch(kind string, h Handler) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.handlers[kind] = h
+	s.handlers[kind] = func(_ context.Context, body json.RawMessage) (any, error) { return h(body) }
 	s.noBatch[kind] = true
 }
 
@@ -145,8 +204,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	default:
 	}
 	s.conns[conn] = struct{}{}
+	obs := s.obs
 	s.mu.Unlock()
 	pusher := newPusher(conn)
+	pusher.obs = obs
 	defer func() {
 		close(pusher.done)
 		s.mu.Lock()
@@ -155,19 +216,36 @@ func (s *Server) serveConn(conn net.Conn) {
 		conn.Close()
 	}()
 	for {
-		frame, err := ReadFrame(conn)
+		header, frame, err := ReadFrameHeader(conn)
 		if err != nil {
 			return
+		}
+		if obs != nil {
+			obs.rx.Add(uint64(4 + len(header) + len(frame)))
 		}
 		var req Request
 		if err := json.Unmarshal(frame, &req); err != nil {
 			// Protocol violation: drop the connection.
+			if obs != nil {
+				obs.badFrames.Inc()
+			}
 			return
 		}
-		resp := s.dispatchConn(&req, pusher)
+		ctx := context.Background()
+		if len(header) > 0 {
+			// A malformed trace header is ignored, never fatal: the
+			// header section is observability metadata, not protocol.
+			if tc, err := obsv.DecodeTraceContext(header); err == nil {
+				ctx = obsv.ContextWithTrace(ctx, tc)
+			}
+		}
+		resp := s.dispatchConn(ctx, &req, pusher)
 		out, err := json.Marshal(resp)
 		if err != nil {
 			return
+		}
+		if obs != nil {
+			obs.tx.Add(uint64(4 + len(out)))
 		}
 		if err := pusher.writeFrame(out); err != nil {
 			return
@@ -176,15 +254,44 @@ func (s *Server) serveConn(conn net.Conn) {
 }
 
 func (s *Server) dispatch(req *Request) *Response {
-	return s.dispatchConn(req, nil)
+	return s.dispatchConn(context.Background(), req, nil)
 }
 
 // dispatchConn routes one request. p is the requesting connection's
 // Pusher (nil when dispatching without a connection); handlers registered
 // via HandlePush receive it.
-func (s *Server) dispatchConn(req *Request, p *Pusher) *Response {
+func (s *Server) dispatchConn(ctx context.Context, req *Request, p *Pusher) *Response {
+	obs := s.observability()
+	var start time.Time
+	var span *obsv.Span
+	if obs != nil {
+		start = time.Now()
+		if obs.tracer != nil {
+			ctx, span = obs.tracer.Start(ctx, "rpc."+req.Kind)
+		}
+	}
+	resp := s.route(ctx, req, p)
+	if obs != nil {
+		obs.reqs.With(req.Kind).Inc()
+		obs.lat.With(req.Kind).Since(start)
+		if !resp.OK {
+			obs.errs.With(req.Kind).Inc()
+		}
+	}
+	if span != nil {
+		if resp.OK {
+			span.End(nil)
+		} else {
+			span.End(errors.New(resp.Error))
+		}
+	}
+	return resp
+}
+
+// route performs the actual handler lookup and invocation.
+func (s *Server) route(ctx context.Context, req *Request, p *Pusher) *Response {
 	if req.Kind == BatchKind {
-		return s.dispatchBatch(req)
+		return s.dispatchBatch(ctx, req)
 	}
 	if ph, ok := s.pushHandler(req.Kind); ok {
 		body, err := ph(req.Body, p)
@@ -203,7 +310,7 @@ func (s *Server) dispatchConn(req *Request, p *Pusher) *Response {
 	if !ok {
 		return &Response{ID: req.ID, OK: false, Error: fmt.Sprintf("unknown request kind %q", req.Kind)}
 	}
-	body, err := h(req.Body)
+	body, err := h(ctx, req.Body)
 	if err != nil {
 		return &Response{ID: req.ID, OK: false, Error: err.Error()}
 	}
@@ -220,6 +327,8 @@ type Client struct {
 	mu     sync.Mutex
 	conn   net.Conn
 	nextID uint64
+	trace  obsv.TraceContext // connection-level trace (SetTrace)
+	tracer *obsv.Tracer      // client-side spans (SetTracer)
 }
 
 // Dial connects to a server address.
@@ -237,6 +346,24 @@ func NewClient(conn net.Conn) *Client { return &Client{conn: conn} }
 // Close closes the underlying connection.
 func (c *Client) Close() error { return c.conn.Close() }
 
+// SetTrace pins a connection-level trace context: every subsequent Call
+// made without its own context trace sends a child span of tc in the
+// frame header. Only enable toward peers that understand frame headers
+// (a pre-header peer closes the connection on the first traced frame);
+// within one deployment all daemons upgrade together.
+func (c *Client) SetTrace(tc obsv.TraceContext) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.trace = tc
+}
+
+// SetTracer records one client-side span per traced call.
+func (c *Client) SetTracer(t *obsv.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
 // ErrRemote wraps an error string returned by the server.
 type ErrRemote struct{ Msg string }
 
@@ -245,19 +372,48 @@ func (e *ErrRemote) Error() string { return "transport: remote error: " + e.Msg 
 // Call sends a request of the given kind and decodes the response body
 // into out (which may be nil to discard).
 func (c *Client) Call(kind string, in any, out any) error {
+	return c.CallCtx(context.Background(), kind, in, out)
+}
+
+// CallCtx is Call with trace propagation: when ctx (or the connection's
+// SetTrace default) carries a sampled trace, the request frame carries
+// a child trace context in its header and, with SetTracer, a client
+// span is recorded.
+func (c *Client) CallCtx(ctx context.Context, kind string, in any, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return fmt.Errorf("transport: encoding request: %w", err)
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	tc := obsv.TraceFrom(ctx)
+	if !tc.Valid() {
+		tc = c.trace
+	}
+	var header []byte
+	var span *obsv.Span
+	if tc.Valid() && tc.Sampled() {
+		child := tc.Child()
+		header = child.Encode()
+		if c.tracer != nil {
+			span = c.tracer.StartRemote(child, "call."+kind)
+		}
+	}
 	c.nextID++
 	req := Request{ID: c.nextID, Kind: kind, Body: body}
 	frame, err := json.Marshal(&req)
 	if err != nil {
 		return fmt.Errorf("transport: encoding envelope: %w", err)
 	}
-	if err := WriteFrame(c.conn, frame); err != nil {
+	err = c.roundTrip(header, frame, req.ID, out)
+	span.End(err)
+	return err
+}
+
+// roundTrip writes one framed request and reads its response. Caller
+// holds c.mu.
+func (c *Client) roundTrip(header, frame []byte, id uint64, out any) error {
+	if err := WriteFrameHeader(c.conn, header, frame); err != nil {
 		return err
 	}
 	respFrame, err := ReadFrame(c.conn)
@@ -268,7 +424,7 @@ func (c *Client) Call(kind string, in any, out any) error {
 	if err := json.Unmarshal(respFrame, &resp); err != nil {
 		return fmt.Errorf("transport: decoding response: %w", err)
 	}
-	if resp.ID != req.ID {
+	if resp.ID != id {
 		return errors.New("transport: response ID mismatch")
 	}
 	if !resp.OK {
