@@ -98,8 +98,12 @@ func main() {
 		dataDir    = flag.String("data", "", "durable storage directory; empty runs in-memory (cosigning key and evidence are lost on exit)")
 		interval   = flag.Duration("interval", 0, "automatic pull+gossip period (0 = RPC-driven only)")
 		subscribe  = flag.Bool("subscribe", false, "subscribe to head pushes from every source instead of relying on polling alone")
-		metrics    = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, /traces, pprof); empty disables")
+		metrics    = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, /traces, /slo, /debug/flight, pprof); empty disables")
 		traceEvery = flag.Int("trace", 64, "sample one in N requests for tracing (0 disables local roots)")
+
+		lagDeadline = flag.Duration("lag-deadline", 30*time.Second, "frontier-lag watchdog deadline: how long the worst source lag may stay above -lag-threshold before the witness degrades (0 disables)")
+		lagMax      = flag.Uint64("lag-threshold", 1024, "frontier-lag watchdog threshold (leaves)")
+		sloInterval = flag.Duration("slo-interval", obsv.DefaultSLOInterval, "SLO burn-rate sampling interval")
 	)
 	flag.Parse()
 	if *sources == "" {
@@ -114,6 +118,18 @@ func main() {
 	tracer.SetLogger(logger)
 	bls.RegisterMetrics(reg)
 	bls12381.RegisterMetrics(reg)
+
+	// Diagnosis plane: flight recorder (dumped on panic, SIGQUIT, or a
+	// readiness flip), frontier-lag watchdog, SLO burn-rate engine.
+	fr := obsv.NewFlightRecorder(obsv.DefaultFlightSize)
+	fr.Register(reg)
+	diagDir := *dataDir
+	if diagDir == "" {
+		diagDir = os.TempDir()
+	}
+	defer fr.DumpOnPanic(diagDir, "auditord")
+	dogs := obsv.NewWatchdogSet("auditord", diagDir, fr)
+	dogs.SetLogger(logger)
 
 	var w *gossip.Witness
 	if *dataDir != "" {
@@ -138,9 +154,21 @@ func main() {
 		}
 	}
 	w.RegisterMetrics(reg)
+	w.SetFlightRecorder(fr)
 	// A witness whose evidence journal can no longer be written must not
 	// look ready: its cosignatures would not survive a restart.
 	health.Set("witness-journal", w.Err)
+	// A frontier stuck far behind the largest signed size seen means
+	// this witness cannot advance (missing consistency proofs, a wedged
+	// source, or an equivocating log): degraded, with profiles.
+	if *lagDeadline > 0 {
+		dogs.AddProbe("gossip-frontier-lag", *lagDeadline, func() (bool, string) {
+			if lag := w.FrontierLagMax(); lag > *lagMax {
+				return true, fmt.Sprintf("worst source lag %d leaves", lag)
+			}
+			return false, ""
+		})
+	}
 
 	// Connect to sources; fetch their tree-head keys (TOFU for the demo).
 	var srcs []*sourceConn
@@ -245,11 +273,27 @@ func main() {
 		}
 	}
 	srv.Instrument(reg, tracer)
+	srv.SetFlightRecorder(fr)
+
+	slo := obsv.NewSLOEngine(reg, obsv.DefaultWitnessSLOs(), *sloInterval)
+	slo.Register(reg)
+	slo.Start()
+	dogs.Register(reg)
+	dogs.BindHealth(health)
+	dogs.Start(100 * time.Millisecond)
+	stopDumps := fr.ArmDumps(diagDir, "auditord", health, logger)
 
 	var ms *obsv.MetricsServer
 	if *metrics != "" {
 		var err error
-		ms, err = obsv.ListenAndServe(*metrics, reg, health, tracer)
+		ms, err = obsv.Endpoint{
+			Daemon:   "auditord",
+			Registry: reg,
+			Health:   health,
+			Tracer:   tracer,
+			Flight:   fr,
+			SLO:      slo,
+		}.ListenAndServe(*metrics)
 		if err != nil {
 			fatal("metrics endpoint", "err", err)
 		}
@@ -288,6 +332,9 @@ func main() {
 	got := <-sig
 	logger.Info("shutting down", "signal", got.String())
 	srv.Close()
+	stopDumps()
+	dogs.Close()
+	slo.Close()
 	if ms != nil {
 		ms.Close()
 	}

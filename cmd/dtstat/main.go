@@ -1,0 +1,261 @@
+// Command dtstat is the fleet diagnosis CLI: one consolidated view of
+// every daemon's observability endpoint. It scrapes each node's
+// /metrics.json, /slo?format=json, and /readyz surfaces and renders one
+// row per node — readiness, degraded watchdogs, poison state, log size,
+// frontier lag, watchdog trips, and the worst SLO burn rate — so an
+// operator triages a fleet with one command instead of N curls.
+//
+//	dtstat -nodes mon=127.0.0.1:9090,w1=127.0.0.1:9191
+//	dtstat -nodes mon=127.0.0.1:9090 watch -every 2s
+//	dtstat flight 127.0.0.1:9090
+//
+// Subcommands:
+//
+//	status   one table and exit (the default)
+//	watch    repaint the table every -every until interrupted
+//	flight   pull one node's flight-recorder dump (raw JSON to stdout)
+//
+// Addresses are observability endpoints (the daemons' -metrics flag),
+// not RPC listeners. dtstat needs no keys: everything it reads is the
+// unauthenticated loopback diagnosis surface.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"repro/internal/obsv"
+)
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated name=addr list of observability endpoints")
+		every   = flag.Duration("every", 2*time.Second, "repaint interval for watch")
+		timeout = flag.Duration("timeout", 3*time.Second, "per-scrape HTTP timeout")
+	)
+	flag.Parse()
+	client := &http.Client{Timeout: *timeout}
+
+	cmd := "status"
+	if args := flag.Args(); len(args) > 0 {
+		cmd = args[0]
+	}
+	switch cmd {
+	case "status", "watch":
+		targets, err := parseNodes(*nodes)
+		if err != nil {
+			fatal(err)
+		}
+		if cmd == "status" {
+			writeTable(os.Stdout, scrapeAll(client, targets))
+			return
+		}
+		for {
+			var b strings.Builder
+			writeTable(&b, scrapeAll(client, targets))
+			// One clear+repaint per tick; plain output when not a TTY is
+			// still readable as a scrolling log.
+			fmt.Print("\033[H\033[2J" + b.String())
+			time.Sleep(*every)
+		}
+	case "flight":
+		if flag.NArg() < 2 {
+			fatal(fmt.Errorf("usage: dtstat flight <addr>"))
+		}
+		if err := pullFlight(client, flag.Arg(1), os.Stdout); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q (want status, watch, or flight)", cmd))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dtstat:", err)
+	os.Exit(1)
+}
+
+// target is one node to scrape.
+type target struct {
+	name string
+	addr string
+}
+
+func parseNodes(s string) ([]target, error) {
+	if s == "" {
+		return nil, fmt.Errorf("need -nodes name=addr[,name=addr...]")
+	}
+	var out []target
+	for _, entry := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(entry), "=", 2)
+		if len(parts) != 2 || parts[0] == "" || parts[1] == "" {
+			return nil, fmt.Errorf("bad -nodes entry %q (want name=addr)", entry)
+		}
+		out = append(out, target{name: parts[0], addr: parts[1]})
+	}
+	return out, nil
+}
+
+// nodeStatus is everything one row of the table needs. Err marks a node
+// that could not be scraped at all; partial scrape failures leave the
+// corresponding columns at their zero "-" rendering.
+type nodeStatus struct {
+	target
+	err error
+
+	ready     bool
+	readyBody string
+	degraded  []string // failing watchdogs / degraded probe names
+	poisoned  bool
+	size      float64 // log size (monitor) or cosigned frontier max (witness)
+	lag       float64 // gossip_frontier_lag_max, witnesses only
+	hasLag    bool
+	trips     uint64 // watchdog trips, all watchdogs summed
+	maxBurn   float64
+	breaching []string // breaching objective names
+}
+
+func scrapeAll(client *http.Client, targets []target) []nodeStatus {
+	out := make([]nodeStatus, len(targets))
+	for i, tg := range targets {
+		out[i] = scrape(client, tg)
+	}
+	return out
+}
+
+func scrape(client *http.Client, tg target) nodeStatus {
+	st := nodeStatus{target: tg}
+
+	// /metrics.json: the flattened series map carries nearly every column.
+	var series map[string]float64
+	if err := getJSON(client, tg.addr, "/metrics.json", &series); err != nil {
+		st.err = err
+		return st
+	}
+	st.poisoned = series["serve_poisoned"] > 0
+	if v, ok := series["monitor_log_size"]; ok {
+		st.size = v
+	} else if v, ok := series["serve_head_size"]; ok {
+		st.size = v
+	}
+	if v, ok := series["gossip_frontier_lag_max"]; ok {
+		st.lag, st.hasLag = v, true
+	}
+	for name, v := range series {
+		if strings.HasPrefix(name, `watchdog_trips_total{`) {
+			st.trips += uint64(v)
+		}
+		if strings.HasPrefix(name, `watchdog_stalled{`) && v > 0 {
+			st.degraded = append(st.degraded, labelValue(name))
+		}
+	}
+	sort.Strings(st.degraded)
+
+	// /readyz: the status code is the verdict, the body names the cause.
+	st.ready, st.readyBody = readyz(client, tg.addr)
+
+	// /slo: worst burn across objectives and windows, plus breach names.
+	var slos []obsv.SLOStatus
+	if err := getJSON(client, tg.addr, "/slo?format=json", &slos); err == nil {
+		for _, s := range slos {
+			for _, burn := range s.Burn {
+				if burn > st.maxBurn {
+					st.maxBurn = burn
+				}
+			}
+			if s.Breaching {
+				st.breaching = append(st.breaching, s.Name)
+			}
+		}
+		sort.Strings(st.breaching)
+	}
+	return st
+}
+
+// labelValue extracts the (single) label value from a flattened series
+// key like `watchdog_stalled{watchdog="wal-fsync"}`.
+func labelValue(series string) string {
+	i := strings.Index(series, `="`)
+	j := strings.LastIndex(series, `"}`)
+	if i < 0 || j <= i+2 {
+		return series
+	}
+	return series[i+2 : j]
+}
+
+func getJSON(client *http.Client, addr, path string, v any) error {
+	resp, err := client.Get("http://" + addr + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s: HTTP %d", path, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(v)
+}
+
+func readyz(client *http.Client, addr string) (ready bool, body string) {
+	resp, err := client.Get("http://" + addr + "/readyz")
+	if err != nil {
+		return false, err.Error()
+	}
+	defer resp.Body.Close()
+	b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode == http.StatusOK, strings.TrimSpace(string(b))
+}
+
+func pullFlight(client *http.Client, addr string, w io.Writer) error {
+	resp, err := client.Get("http://" + addr + "/debug/flight")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/debug/flight: HTTP %d", resp.StatusCode)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+func writeTable(w io.Writer, nodes []nodeStatus) {
+	tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+	fmt.Fprintln(tw, "NODE\tADDR\tREADY\tDEGRADED\tPOISON\tSIZE\tLAG\tTRIPS\tMAX BURN\tBREACHING")
+	for _, n := range nodes {
+		if n.err != nil {
+			fmt.Fprintf(tw, "%s\t%s\tunreachable\t-\t-\t-\t-\t-\t-\t%v\n", n.name, n.addr, n.err)
+			continue
+		}
+		ready := "yes"
+		if !n.ready {
+			ready = "NO"
+		}
+		degraded := "-"
+		if len(n.degraded) > 0 {
+			degraded = strings.Join(n.degraded, ",")
+		}
+		poison := "-"
+		if n.poisoned {
+			poison = "POISONED"
+		}
+		lag := "-"
+		if n.hasLag {
+			lag = fmt.Sprintf("%.0f", n.lag)
+		}
+		breaching := "-"
+		if len(n.breaching) > 0 {
+			breaching = strings.Join(n.breaching, ",")
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%.0f\t%s\t%d\t%.2f\t%s\n",
+			n.name, n.addr, ready, degraded, poison, n.size, lag, n.trips, n.maxBurn, breaching)
+	}
+	tw.Flush()
+}

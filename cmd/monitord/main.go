@@ -86,9 +86,13 @@ func main() {
 		dataDir    = flag.String("data", "", "durable storage directory; empty runs in-memory (log and keys are lost on exit)")
 		slashable  = flag.String("slashable", "", "comma-separated hex BLS keys of peer monitors whose equivocation proofs this monitor records")
 		subscribe  = flag.Bool("subscribe", true, "serve reads through the caching tier and push new heads to subscribed connections")
-		metrics    = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, /traces, pprof); empty disables")
+		metrics    = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, /traces, /slo, /debug/flight, pprof); empty disables")
 		traceEvery = flag.Int("trace", 64, "sample one in N requests for tracing (0 disables local roots)")
-		debugHooks = flag.Bool("debug-hooks", false, "register debug RPCs (_poison) — test deployments only")
+		debugHooks = flag.Bool("debug-hooks", false, "register debug RPCs (_poison) and fault-injection flags — test deployments only")
+
+		fsyncDeadline   = flag.Duration("fsync-deadline", 2*time.Second, "WAL-fsync stall watchdog deadline (0 disables)")
+		sloInterval     = flag.Duration("slo-interval", obsv.DefaultSLOInterval, "SLO burn-rate sampling interval")
+		debugFsyncStall = flag.Duration("debug-fsync-stall", 0, "inject a sleep before every WAL fsync (requires -debug-hooks)")
 	)
 	flag.Parse()
 
@@ -106,6 +110,24 @@ func main() {
 	bls.RegisterMetrics(reg)
 	bls12381.RegisterMetrics(reg)
 
+	// Diagnosis plane: the flight recorder keeps the last operational
+	// transitions in memory and dumps them on panic, SIGQUIT, or a
+	// readiness flip; watchdogs turn silent stalls into degraded health
+	// plus profiles; the SLO engine burns the registry's own series.
+	fr := obsv.NewFlightRecorder(obsv.DefaultFlightSize)
+	fr.Register(reg)
+	diagDir := *dataDir
+	if diagDir == "" {
+		diagDir = os.TempDir()
+	}
+	defer fr.DumpOnPanic(diagDir, "monitord")
+	dogs := obsv.NewWatchdogSet("monitord", diagDir, fr)
+	dogs.SetLogger(logger)
+	var fsyncDog *obsv.Watchdog
+	if *fsyncDeadline > 0 {
+		fsyncDog = dogs.Add("wal-fsync", *fsyncDeadline)
+	}
+
 	file, err := deployfile.Read(*paramsPath)
 	if err != nil {
 		fatal("reading deployment parameters", "err", err)
@@ -114,10 +136,16 @@ func main() {
 	if err != nil {
 		fatal("parsing deployment parameters", "err", err)
 	}
+	var stall time.Duration
+	if *debugHooks {
+		stall = *debugFsyncStall
+	} else if *debugFsyncStall > 0 {
+		fatal("-debug-fsync-stall requires -debug-hooks")
+	}
 	var mon *monitor.Monitor
 	if *dataDir != "" {
 		// Persistent monitor: stable tree-head identity, crash-safe log.
-		mon, err = monitor.Open(*dataDir, params, &monitor.OpenOptions{Shards: *shards})
+		mon, err = monitor.Open(*dataDir, params, &monitor.OpenOptions{Shards: *shards, FsyncStall: stall})
 		if err != nil {
 			fatal("opening monitor store", "err", err, "data", *dataDir)
 		}
@@ -146,6 +174,7 @@ func main() {
 		mon.EnableBLSHeads(blsKey)
 	}
 	mon.RegisterMetrics(reg)
+	mon.SetDiagnostics(fr, fsyncDog)
 	// The sticky persistence error flips readiness: a monitor that can
 	// no longer write its log durably must not look healthy.
 	health.Set("monitor-persist", mon.Err)
@@ -274,9 +303,19 @@ func main() {
 		}
 		mon.SetAppendHook(tier.Kick)
 		tier.Register(srv)
+		tier.SetFlightRecorder(fr)
 		// A poisoned (fail-closed) tier must flip /readyz, not just
 		// refuse RPCs.
 		health.Set("serve", tier.Unhealthy)
+		// A push backlog pinned at the cap means subscribers are not
+		// draining; degraded, with profiles, but not unready.
+		hub := tier.Hub()
+		dogs.AddProbe("serve-push-drain", 5*time.Second, func() (bool, string) {
+			if p := hub.Pending(); p >= 1024 {
+				return true, fmt.Sprintf("push backlog %d heads", p)
+			}
+			return false, ""
+		})
 	}
 	if *debugHooks && tier != nil {
 		// Test-only failure injection: the e2e smoke test poisons the
@@ -287,10 +326,36 @@ func main() {
 		})
 	}
 	srv.Instrument(reg, tracer)
+	srv.SetFlightRecorder(fr)
+
+	// SLO engine: objectives from the deployment file when declared,
+	// the monitor defaults otherwise.
+	if err := file.ValidateSLOs(); err != nil {
+		fatal("deployment SLOs", "err", err)
+	}
+	objs := file.SLOs
+	if len(objs) == 0 {
+		objs = obsv.DefaultMonitorSLOs()
+	}
+	slo := obsv.NewSLOEngine(reg, objs, *sloInterval)
+	slo.Register(reg)
+	slo.Start()
+
+	dogs.Register(reg)
+	dogs.BindHealth(health)
+	dogs.Start(100 * time.Millisecond)
+	stopDumps := fr.ArmDumps(diagDir, "monitord", health, logger)
 
 	var ms *obsv.MetricsServer
 	if *metrics != "" {
-		ms, err = obsv.ListenAndServe(*metrics, reg, health, tracer)
+		ms, err = obsv.Endpoint{
+			Daemon:   "monitord",
+			Registry: reg,
+			Health:   health,
+			Tracer:   tracer,
+			Flight:   fr,
+			SLO:      slo,
+		}.ListenAndServe(*metrics)
 		if err != nil {
 			fatal("metrics endpoint", "err", err)
 		}
@@ -317,6 +382,9 @@ func main() {
 	if tier != nil {
 		tier.Close()
 	}
+	stopDumps()
+	dogs.Close()
+	slo.Close()
 	if ms != nil {
 		ms.Close()
 	}

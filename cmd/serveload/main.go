@@ -34,7 +34,15 @@ type report struct {
 		HotSet  int    `json:"hot_set"`
 		Pattern string `json:"pattern"`
 	} `json:"workload"`
-	Scenarios  []*loadtest.Result `json:"scenarios"`
+	Scenarios []*loadtest.Result `json:"scenarios"`
+	SLO       struct {
+		Objective        string  `json:"objective"`
+		ThresholdSeconds float64 `json:"threshold_seconds"`
+		Target           float64 `json:"target"`
+		Compliance       float64 `json:"compliance"`
+		BurnRate         float64 `json:"burn_rate"`
+		P99WithinSLO     bool    `json:"p99_within_slo"`
+	} `json:"slo"`
 	Acceptance struct {
 		MaxClients       int     `json:"max_clients_sustained"`
 		HitRate          float64 `json:"cache_hit_rate"`
@@ -105,6 +113,19 @@ func main() {
 	rep.Acceptance.SpeedupProofOnly = cached1k.Throughput / proofOnly1k.Throughput
 	rep.Acceptance.HitRateOK = big.HitRate > 0.90
 	rep.Acceptance.TenfoldSpeedupOK = rep.Acceptance.SpeedupAt1k >= 10
+
+	// SLO compliance of the flagship run against the fleet's default
+	// proof-serving objective — the bridge between this load table and
+	// the /slo surface the daemons serve in production.
+	rep.SLO.Objective = "proof-serve-p99"
+	rep.SLO.ThresholdSeconds = loadtest.SLOThresholdSeconds
+	rep.SLO.Target = loadtest.SLOTarget
+	rep.SLO.Compliance = big.SLOCompliance
+	rep.SLO.BurnRate = big.SLOBurnRate
+	rep.SLO.P99WithinSLO = big.P99us <= loadtest.SLOThresholdSeconds*1e6
+	fmt.Fprintf(os.Stderr, "SLO %s: compliance %.4f, burn rate %.2f (threshold %.1fms, target %.2f)\n",
+		rep.SLO.Objective, rep.SLO.Compliance, rep.SLO.BurnRate,
+		loadtest.SLOThresholdSeconds*1e3, loadtest.SLOTarget)
 
 	if !rep.Acceptance.HitRateOK || !rep.Acceptance.TenfoldSpeedupOK {
 		fatal(fmt.Errorf("acceptance failed: hit rate %.3f, speedup %.1fx",

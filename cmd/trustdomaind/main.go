@@ -75,7 +75,10 @@ func main() {
 		frozen  = flag.Bool("frozen", false, "disable code updates after installation")
 		dataDir = flag.String("data", "", "directory for durable key-share state (restart keeps shares and epochs)")
 		refresh = flag.Duration("refresh", 0, "proactively refresh the key shares at this interval (0 disables)")
-		metrics = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, pprof); empty disables")
+		metrics = flag.String("metrics", "", "observability HTTP address (/metrics, /healthz, /readyz, /slo, /debug/flight, pprof); empty disables")
+
+		ceremonyDeadline = flag.Duration("ceremony-deadline", time.Minute, "refresh-ceremony completion watchdog deadline (0 disables)")
+		sloInterval      = flag.Duration("slo-interval", obsv.DefaultSLOInterval, "SLO burn-rate sampling interval")
 	)
 	flag.Parse()
 	if !*demo {
@@ -95,6 +98,29 @@ func main() {
 	bls.RegisterMetrics(reg)
 	bls12381.RegisterMetrics(reg)
 	blsapp.RegisterCeremonyMetrics(reg)
+
+	// Diagnosis plane: flight recorder (ceremony phases, share installs;
+	// dumped on panic, SIGQUIT, or a readiness flip) plus a watchdog on
+	// ceremony completion — a refresh wedged on an unresponsive domain
+	// degrades the daemon instead of hanging silently.
+	fr := obsv.NewFlightRecorder(obsv.DefaultFlightSize)
+	fr.Register(reg)
+	diagDir := *dataDir
+	if diagDir == "" {
+		diagDir = os.TempDir()
+	}
+	defer fr.DumpOnPanic(diagDir, "trustdomaind")
+	dogs := obsv.NewWatchdogSet("trustdomaind", diagDir, fr)
+	dogs.SetLogger(logger)
+	var ceremonyDog *obsv.Watchdog
+	if *ceremonyDeadline > 0 {
+		ceremonyDog = dogs.Add("refresh-ceremony", *ceremonyDeadline)
+	}
+	blsapp.SetCeremonyDiagnostics(fr, ceremonyDog)
+	dogs.Register(reg)
+	dogs.BindHealth(health)
+	dogs.Start(time.Second)
+	defer dogs.Close()
 
 	dev, err := framework.NewDeveloper()
 	if err != nil {
@@ -164,9 +190,28 @@ func main() {
 		return nil
 	})
 
+	slo := obsv.NewSLOEngine(reg, []obsv.Objective{{
+		Name:      "ceremony-p99",
+		Kind:      "latency",
+		Series:    "blsapp_ceremony_seconds",
+		Threshold: 16.777216, // 250ns << 26: the top LatencyBuckets bound
+		Target:    0.99,
+	}}, *sloInterval)
+	slo.Register(reg)
+	slo.Start()
+	defer slo.Close()
+	stopDumps := fr.ArmDumps(diagDir, "trustdomaind", health, logger)
+	defer stopDumps()
+
 	var ms *obsv.MetricsServer
 	if *metrics != "" {
-		ms, err = obsv.ListenAndServe(*metrics, reg, health, nil)
+		ms, err = obsv.Endpoint{
+			Daemon:   "trustdomaind",
+			Registry: reg,
+			Health:   health,
+			Flight:   fr,
+			SLO:      slo,
+		}.ListenAndServe(*metrics)
 		if err != nil {
 			fatal("metrics endpoint", "err", err)
 		}

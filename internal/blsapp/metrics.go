@@ -1,6 +1,7 @@
 package blsapp
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obsv"
@@ -22,6 +23,28 @@ var ceremonyObs = struct {
 	phase      obsv.Gauge
 	duration   *obsv.Histogram
 }{duration: obsv.NewHistogram(nil)}
+
+// Ceremony diagnosis hooks (package-level, like ceremonyObs, because
+// ceremonies are driven through package functions). The flight recorder
+// sees every phase transition and the outcome; the watchdog is armed
+// for the ceremony's whole non-idle span, so a ceremony wedged on an
+// unresponsive domain trips it instead of hanging silently.
+var (
+	ceremonyFlight atomic.Pointer[obsv.FlightRecorder]
+	ceremonyDog    atomic.Pointer[obsv.Watchdog]
+)
+
+// SetCeremonyDiagnostics installs the coordinator daemon's flight
+// recorder and ceremony-completion watchdog. Either may be nil.
+func SetCeremonyDiagnostics(fr *obsv.FlightRecorder, dog *obsv.Watchdog) {
+	ceremonyFlight.Store(fr)
+	ceremonyDog.Store(dog)
+}
+
+// ceremonyEvent notes a ceremony phase transition in the flight ring.
+func ceremonyEvent(kind, detail string, value uint64) {
+	ceremonyFlight.Load().Record("blsapp", kind, detail, value, obsv.TraceContext{})
+}
 
 // RegisterCeremonyMetrics exposes the coordinator's refresh-ceremony
 // series on reg under blsapp_ceremony_*.
@@ -55,8 +78,12 @@ func (st *ShareState) RegisterMetrics(reg *obsv.Registry) {
 
 func observeCeremony(start time.Time, err error) {
 	ceremonyObs.phase.Set(ceremonyIdle)
+	ceremonyDog.Load().Done()
 	ceremonyObs.duration.Observe(time.Since(start).Seconds())
 	if err != nil {
 		ceremonyObs.failures.Inc()
+		ceremonyEvent("ceremony_failed", err.Error(), 0)
+		return
 	}
+	ceremonyEvent("ceremony_done", "", uint64(time.Since(start).Nanoseconds()))
 }

@@ -181,12 +181,14 @@ const ceremonyRetries = 3
 func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) (err error) {
 	start := time.Now()
 	ceremonyObs.ceremonies.Inc()
+	ceremonyDog.Load().Arm()
 	defer func() { observeCeremony(start, err) }()
 	n := inv.NumDomains()
 	if n != len(ref.Deltas) {
 		return fmt.Errorf("blsapp: ceremony for %d shares driven against %d domains", len(ref.Deltas), n)
 	}
 	ceremonyObs.phase.Set(ceremonyFrames)
+	ceremonyEvent("ceremony_phase", "frames", ref.NewEpoch)
 	reqs := make([][]byte, n)
 	for i := 0; i < n; i++ {
 		r, err := RefreshRequestFor(ref, i, signer)
@@ -197,6 +199,7 @@ func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) (er
 	}
 
 	ceremonyObs.phase.Set(ceremonyInvoke)
+	ceremonyEvent("ceremony_phase", "invoke", ref.NewEpoch)
 	var resps [][]byte
 	if ai, ok := inv.(AllInvoker); ok {
 		var err error
@@ -222,6 +225,7 @@ func RunRefreshCeremony(inv Invoker, ref *bls.Refresh, signer RefreshSigner) (er
 		}
 	}
 	ceremonyObs.phase.Set(ceremonyAcks)
+	ceremonyEvent("ceremony_phase", "acks", ref.NewEpoch)
 	for i, resp := range resps {
 		epoch, err := DecodeRefreshAck(resp)
 		if err != nil {

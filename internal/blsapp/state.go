@@ -241,5 +241,6 @@ func (st *ShareState) ApplyRefresh(f *RefreshFrame) error {
 	st.commit = append(st.commit[:0], f.Commitment...)
 	old.Zeroize()
 	st.obs.refreshes.Inc()
+	ceremonyEvent("share_refresh", "", f.NewEpoch)
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/bls"
 	"repro/internal/bls12381"
+	"repro/internal/obsv"
 	"repro/internal/store"
 	"repro/internal/tee"
 )
@@ -25,6 +26,22 @@ type File struct {
 	Roots       map[string]string `json:"roots"`       // vendor -> hex root key
 	Domains     []DomainEntry     `json:"domains"`
 	Threshold   *ThresholdEntry   `json:"threshold,omitempty"`
+
+	// SLOs declares the deployment's service-level objectives. Daemons
+	// feed them to the obsv SLO engine (/slo, slo_burn_rate); an empty
+	// list means each daemon's built-in defaults. Kept in the deployment
+	// file so the whole fleet burns against one set of objectives.
+	SLOs []obsv.Objective `json:"slos,omitempty"`
+}
+
+// ValidateSLOs checks every declared objective, naming the offender.
+func (f *File) ValidateSLOs() error {
+	for i := range f.SLOs {
+		if err := f.SLOs[i].Validate(); err != nil {
+			return fmt.Errorf("deployfile: slos[%d]: %w", i, err)
+		}
+	}
+	return nil
 }
 
 // DomainEntry describes one trust domain.

@@ -34,10 +34,12 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/aolog"
 	"repro/internal/bls"
+	"repro/internal/obsv"
 	"repro/internal/store"
 )
 
@@ -106,6 +108,11 @@ type Witness struct {
 	pendingEv  map[string][]pendingEvent // replayed events awaiting their source
 
 	obs gossipObs // internal instruments; see RegisterMetrics
+
+	// flight records witness transitions (cosigned frontier advances,
+	// equivocation convictions, journal failure) once a daemon installs
+	// its recorder via SetFlightRecorder; nil-safe, loaded off-lock.
+	flight atomic.Pointer[obsv.FlightRecorder]
 }
 
 // NewWitness creates a witness from a config. The config's own key is
@@ -447,6 +454,7 @@ func (w *Witness) ingestLocked(st *sourceState, gh *GossipHead) IngestResult {
 		if !st.hasFrontier || head.Size > st.frontier {
 			st.frontier = head.Size
 			st.hasFrontier = true
+			w.flight.Load().Record("gossip", "frontier_advance", st.name, head.Size, obsv.TraceContext{})
 		}
 		co := w.cosignLocked(st, head)
 		return IngestResult{Accepted: true, Recorded: true, Cosig: &co}
@@ -553,6 +561,7 @@ func (w *Witness) recordProofLocked(p *EquivocationProof) {
 	}
 	w.proofKeys[key] = true
 	w.proofs = append(w.proofs, *p)
+	w.flight.Load().Record("gossip", "equivocation", p.Source, p.B.Size, obsv.TraceContext{})
 	w.journalEvent(evProof, p)
 }
 

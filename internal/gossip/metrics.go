@@ -57,6 +57,39 @@ func (w *Witness) RegisterMetrics(reg *obsv.Registry) {
 		}
 		return 0
 	})
+	reg.GaugeFunc("gossip_frontier_lag_max", "worst frontier lag across all sources", func() float64 {
+		return float64(w.FrontierLagMax())
+	})
+}
+
+// SetFlightRecorder installs the daemon's flight recorder on the
+// witness. Call any time after NewWitness; nil uninstalls.
+func (w *Witness) SetFlightRecorder(fr *obsv.FlightRecorder) {
+	w.flight.Store(fr)
+}
+
+// FrontierLagMax is the worst frontier lag across all sources: the
+// largest gap between a source's biggest validly-signed size seen and
+// its cosigned frontier. The fleet-wide lag SLO and the frontier-lag
+// watchdog probe both key off this single number.
+func (w *Witness) FrontierLagMax() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var max uint64
+	for _, st := range w.sources {
+		var lag uint64
+		if st.hasFrontier {
+			if st.maxSeen > st.frontier {
+				lag = st.maxSeen - st.frontier
+			}
+		} else {
+			lag = st.maxSeen
+		}
+		if lag > max {
+			max = lag
+		}
+	}
+	return max
 }
 
 // Err reports the sticky journal failure (nil while healthy); daemons

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/aolog"
 	"repro/internal/bls"
+	"repro/internal/obsv"
 	"repro/internal/store"
 )
 
@@ -226,6 +227,7 @@ func (w *Witness) journalEvent(kind byte, v any) {
 	}
 	if err != nil && w.journalErr == nil {
 		w.journalErr = fmt.Errorf("gossip: journaling witness event: %w", err)
+		w.flight.Load().Record("gossip", "journal_failed", err.Error(), 0, obsv.TraceContext{})
 	}
 }
 

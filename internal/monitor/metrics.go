@@ -2,6 +2,27 @@ package monitor
 
 import "repro/internal/obsv"
 
+// SetDiagnostics installs the daemon's flight recorder on the monitor
+// and forwards it — with the WAL-fsync watchdog — to the underlying
+// store. No-op pieces are fine: either argument may be nil, and an
+// in-memory monitor simply has no store to forward to.
+func (m *Monitor) SetDiagnostics(fr *obsv.FlightRecorder, fsyncDog *obsv.Watchdog) {
+	m.flight.Store(fr)
+	if m.store != nil {
+		m.store.SetDiagnostics(fr, fsyncDog)
+	}
+}
+
+// setPersistErrLocked records the first best-effort persistence failure
+// (sticky, surfaced by Err) and notes it in the flight ring. Caller
+// holds m.mu.
+func (m *Monitor) setPersistErrLocked(err error) {
+	if m.persistErr == nil {
+		m.persistErr = err
+		m.flight.Load().Record("monitor", "persist_failed", err.Error(), 0, obsv.TraceContext{})
+	}
+}
+
 // monitorObs holds the monitor's own instruments; counters are bumped
 // inline on the paths they measure (single atomic adds under the lock
 // already held) and exposed via RegisterMetrics.

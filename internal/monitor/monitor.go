@@ -37,11 +37,13 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/aolog"
 	"repro/internal/audit"
 	"repro/internal/bls"
 	"repro/internal/gossip"
+	"repro/internal/obsv"
 	"repro/internal/store"
 )
 
@@ -78,6 +80,11 @@ type Monitor struct {
 	persistErr    error      // sticky best-effort failure; see Err
 
 	obs monitorObs // internal instruments; see RegisterMetrics
+
+	// flight records monitor transitions (alerts raised, equivocation
+	// convictions, persistence failures) once a daemon installs its
+	// recorder via SetDiagnostics; nil-safe.
+	flight atomic.Pointer[obsv.FlightRecorder]
 }
 
 // New creates a monitor for a deployment with DefaultShards log stripes.
@@ -256,6 +263,7 @@ func (m *Monitor) SubmitBatch(envs []*audit.AttestedStatusEnvelope) []BatchOutco
 		if proof != nil {
 			m.alerts = append(m.alerts, *proof)
 			m.obs.alerts.Inc()
+			m.flight.Load().Record("monitor", "alert", proof.Domain, uint64(idx), obsv.TraceContext{})
 		}
 		m.perDom[name] = append(m.perDom[name], Observation{Envelope: *a.env, LogIndex: idx})
 		out[a.pos] = BatchOutcome{LogIndex: idx, Alert: proof}
@@ -347,6 +355,7 @@ func (m *Monitor) RecordLogEquivocation(p *gossip.EquivocationProof) (int, error
 	m.obs.appendedLeaves.Inc()
 	m.obs.alerts.Inc()
 	m.obs.equivocations.Inc()
+	m.flight.Load().Record("monitor", "equivocation", p.Source, uint64(idx), obsv.TraceContext{})
 	m.maybeSnapshotLocked(1)
 	m.notifyAppendLocked()
 	return idx, nil
@@ -369,7 +378,7 @@ func (m *Monitor) TreeHead() aolog.SignedHead {
 	// a failed head write cannot fork anything (the leaves it covers are
 	// already durable), so it is sticky-reported instead of fatal.
 	if err := m.persistHeadLocked(h.Size, h.Head, h.Signature, "ed25519"); err != nil {
-		m.persistErr = err
+		m.setPersistErrLocked(err)
 	}
 	m.obs.headsSignedEd.Inc()
 	return h

@@ -8,13 +8,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sync"
+	"time"
 
 	"repro/internal/aolog"
 	"repro/internal/audit"
 	"repro/internal/bls"
 	"repro/internal/gossip"
 	"repro/internal/store"
-	"sync"
 )
 
 // OpenOptions configure a persistent monitor.
@@ -30,6 +31,10 @@ type OpenOptions struct {
 	SnapshotEvery int
 	// NoSync skips fsyncs in the underlying store (tests/benchmarks).
 	NoSync bool
+	// FsyncStall injects a sleep before every WAL fsync — the diagnosis
+	// e2e fault hook (daemons gate it behind -debug-hooks). Zero in any
+	// real deployment.
+	FsyncStall time.Duration
 }
 
 // monitorState is the derived state a snapshot captures at a log size.
@@ -61,7 +66,7 @@ func Open(dir string, params audit.Params, opts *OpenOptions) (*Monitor, error) 
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 8192
 	}
-	st, err := store.Open(dir, store.Options{Shards: o.Shards, NoSync: o.NoSync})
+	st, err := store.Open(dir, store.Options{Shards: o.Shards, NoSync: o.NoSync, FsyncStall: o.FsyncStall})
 	if err != nil {
 		return nil, fmt.Errorf("monitor: opening store: %w", err)
 	}
@@ -297,7 +302,7 @@ func (m *Monitor) maybeSnapshotLocked(appended int) {
 	}
 	ms, digests, err := m.buildSnapshotLocked()
 	if err != nil {
-		m.persistErr = err
+		m.setPersistErrLocked(err)
 		return
 	}
 	m.snapWriting = true
@@ -310,8 +315,8 @@ func (m *Monitor) maybeSnapshotLocked(appended int) {
 		if m.snapDone != nil {
 			m.snapDone.Broadcast()
 		}
-		if err != nil && m.persistErr == nil {
-			m.persistErr = err
+		if err != nil {
+			m.setPersistErrLocked(err)
 		}
 		m.mu.Unlock()
 	}()

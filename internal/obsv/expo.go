@@ -66,6 +66,12 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			for _, k := range e.hv.labelValues() {
 				writePromHistogram(&b, e.name, e.label, k, e.hv.With(k))
 			}
+		case e.gv2 != nil:
+			fmt.Fprintf(&b, "# TYPE %s gauge\n", e.name)
+			for _, k := range e.gv2.labelValues() {
+				fmt.Fprintf(&b, "%s{%s=%q,%s=%q} %s\n", e.name,
+					e.label, k[0], e.label2, k[1], fmtFloat(e.gv2.With(k[0], k[1]).Value()))
+			}
 		}
 	}
 	_, err := io.WriteString(w, b.String())
@@ -91,6 +97,9 @@ func writePromHistogram(b *strings.Builder, name, labelKey, labelVal string, h *
 	}
 	fmt.Fprintf(b, "%s_sum%s %s\n", name, suffix, fmtFloat(sum))
 	fmt.Fprintf(b, "%s_count%s %d\n", name, suffix, count)
+	// Observations above the top bound, as their own (untyped) series:
+	// nonzero overflow means the bucket layout clips this workload.
+	fmt.Fprintf(b, "%s_overflow%s %d\n", name, suffix, h.Overflow())
 }
 
 func (v *CounterVec) labelValues() []string {
@@ -117,6 +126,20 @@ func (v *HistogramVec) labelValues() []string {
 	ks := make([]string, len(v.ks))
 	copy(ks, v.ks)
 	sort.Strings(ks)
+	return ks
+}
+
+func (v *GaugeVec2) labelValues() []gv2Key {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	ks := make([]gv2Key, len(v.ks))
+	copy(ks, v.ks)
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i][0] != ks[j][0] {
+			return ks[i][0] < ks[j][0]
+		}
+		return ks[i][1] < ks[j][1]
+	})
 	return ks
 }
 
@@ -154,6 +177,11 @@ func (r *Registry) Snapshot() map[string]float64 {
 			for _, k := range e.hv.labelValues() {
 				snapHistogram(out, fmt.Sprintf("%s{%s=%q}", e.name, e.label, k), e.hv.With(k))
 			}
+		case e.gv2 != nil:
+			for _, k := range e.gv2.labelValues() {
+				key := fmt.Sprintf("%s{%s=%q,%s=%q}", e.name, e.label, k[0], e.label2, k[1])
+				out[key] = e.gv2.With(k[0], k[1]).Value()
+			}
 		}
 	}
 	return out
@@ -163,6 +191,7 @@ func snapHistogram(out map[string]float64, name string, h *Histogram) {
 	out[name+"_count"] = float64(h.Count())
 	out[name+"_sum"] = h.Sum()
 	out[name+"_max"] = h.Max()
+	out[name+"_overflow"] = float64(h.Overflow())
 	out[name+"_p50"] = h.Quantile(0.50)
 	out[name+"_p99"] = h.Quantile(0.99)
 	out[name+"_p999"] = h.Quantile(0.999)
@@ -173,4 +202,49 @@ func snapHistogram(out map[string]float64, name string, h *Histogram) {
 // serve tier's hit-rate computation.
 func (r *Registry) Value(series string) float64 {
 	return r.Snapshot()[series]
+}
+
+// findHistogram resolves a series key (`name` or `name{key="value"}`)
+// to the underlying histogram, so the SLO engine can read bucket
+// counts and exemplars rather than flattened values. Returns nil when
+// the series is absent or not a histogram.
+func (r *Registry) findHistogram(series string) *Histogram {
+	name, labelVal := splitSeries(series)
+	r.mu.RLock()
+	e := r.byName[name]
+	r.mu.RUnlock()
+	switch {
+	case e == nil:
+		return nil
+	case e.h != nil:
+		return e.h
+	case e.hv != nil && labelVal != "":
+		// Only return an already-materialized label; With() would mint
+		// an empty histogram for a typo'd objective.
+		e.hv.mu.RLock()
+		h := e.hv.m[labelVal]
+		e.hv.mu.RUnlock()
+		return h
+	}
+	return nil
+}
+
+// splitSeries parses `name{key="value"}` into (name, value); a bare
+// name returns ("", value) empty.
+func splitSeries(series string) (name, labelVal string) {
+	i := strings.IndexByte(series, '{')
+	if i < 0 {
+		return series, ""
+	}
+	name = series[:i]
+	rest := series[i:]
+	j := strings.IndexByte(rest, '"')
+	if j < 0 {
+		return name, ""
+	}
+	k := strings.IndexByte(rest[j+1:], '"')
+	if k < 0 {
+		return name, ""
+	}
+	return name, rest[j+1 : j+1+k]
 }

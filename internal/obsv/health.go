@@ -15,18 +15,30 @@ import (
 // visible: the serve tier's poison probe and the monitor's sticky
 // persistence error both flip /readyz to 503 instead of silently
 // refusing RPCs.
+// Alongside readiness, Health tracks *degraded* states: named probes
+// (installed by stall watchdogs) that mark the daemon impaired without
+// failing it. A degraded daemon keeps /readyz at 200 — load balancers
+// keep routing to it — but the state is visible in the /readyz body and
+// the process_degraded gauge. Degraded is the early warning; readiness
+// is the circuit breaker.
 type Health struct {
 	started time.Time
 
-	mu     sync.Mutex
-	names  []string
-	probes map[string]func() error
+	mu       sync.Mutex
+	names    []string
+	probes   map[string]func() error
+	degNames []string
+	degraded map[string]func() error
 }
 
 // NewHealth creates an empty health surface (always live, ready until a
 // probe says otherwise).
 func NewHealth() *Health {
-	return &Health{started: time.Now(), probes: make(map[string]func() error)}
+	return &Health{
+		started:  time.Now(),
+		probes:   make(map[string]func() error),
+		degraded: make(map[string]func() error),
+	}
 }
 
 // Set installs (or replaces) a named readiness probe. A probe returns
@@ -39,6 +51,39 @@ func (h *Health) Set(name string, probe func() error) {
 		sort.Strings(h.names)
 	}
 	h.probes[name] = probe
+}
+
+// SetDegraded installs (or replaces) a named degraded-state probe. A
+// failing degraded probe does NOT affect Ready(); it only shows in
+// Report, DegradedStates, and process_degraded.
+func (h *Health) SetDegraded(name string, probe func() error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, ok := h.degraded[name]; !ok {
+		h.degNames = append(h.degNames, name)
+		sort.Strings(h.degNames)
+	}
+	h.degraded[name] = probe
+}
+
+// DegradedStates returns the currently failing degraded probes
+// (name -> error). Empty map = fully healthy.
+func (h *Health) DegradedStates() map[string]error {
+	h.mu.Lock()
+	names := make([]string, len(h.degNames))
+	copy(names, h.degNames)
+	probes := make(map[string]func() error, len(h.degraded))
+	for k, v := range h.degraded {
+		probes[k] = v
+	}
+	h.mu.Unlock()
+	out := make(map[string]error)
+	for _, n := range names {
+		if err := probes[n](); err != nil {
+			out[n] = err
+		}
+	}
+	return out
 }
 
 // Ready runs every probe and returns the first failure (nil = ready).
@@ -68,6 +113,12 @@ func (h *Health) Report() string {
 	for k, v := range h.probes {
 		probes[k] = v
 	}
+	degNames := make([]string, len(h.degNames))
+	copy(degNames, h.degNames)
+	degProbes := make(map[string]func() error, len(h.degraded))
+	for k, v := range h.degraded {
+		degProbes[k] = v
+	}
 	h.mu.Unlock()
 	var b strings.Builder
 	for _, n := range names {
@@ -75,6 +126,13 @@ func (h *Health) Report() string {
 			fmt.Fprintf(&b, "%s: %v\n", n, err)
 		} else {
 			fmt.Fprintf(&b, "%s: ok\n", n)
+		}
+	}
+	for _, n := range degNames {
+		if err := degProbes[n](); err != nil {
+			fmt.Fprintf(&b, "degraded %s: %v\n", n, err)
+		} else {
+			fmt.Fprintf(&b, "degraded %s: ok\n", n)
 		}
 	}
 	return b.String()
@@ -94,5 +152,8 @@ func (h *Health) Register(reg *Registry) {
 	})
 	reg.GaugeFunc("process_uptime_seconds", "seconds since daemon start", func() float64 {
 		return h.Uptime().Seconds()
+	})
+	reg.GaugeFunc("process_degraded", "number of failing degraded-state probes (ready but impaired)", func() float64 {
+		return float64(len(h.DegradedStates()))
 	})
 }

@@ -2,6 +2,7 @@ package obsv
 
 import (
 	"math"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -41,10 +42,36 @@ var SizeBuckets = func() []float64 {
 // alone cannot recover.
 type Histogram struct {
 	bounds  []float64
-	counts  []atomic.Uint64 // len(bounds)+1; last bucket is +Inf
+	counts  []atomic.Uint64 // len(bounds)+1; last bucket is overflow (+Inf)
 	count   atomic.Uint64
 	sumBits atomic.Uint64 // float64 bits, CAS-add
 	maxBits atomic.Uint64 // float64 bits, CAS-max
+
+	// Trace exemplars: a tiny ring of (value, time, trace) triples from
+	// sampled observations, linking an SLO breach back to concrete
+	// traces on /traces. Only ObserveExemplar with a sampled trace
+	// touches it.
+	exMu   sync.Mutex
+	ex     [exemplarRingSize]exemplar
+	exNext int
+	exN    int
+}
+
+// exemplarRingSize bounds per-histogram exemplar memory; a handful of
+// recent outliers is enough to pivot from /slo to /traces.
+const exemplarRingSize = 8
+
+type exemplar struct {
+	vBits uint64
+	t     int64 // unix nanoseconds
+	tc    TraceContext
+}
+
+// Exemplar is one retained (value, time, trace) observation.
+type Exemplar struct {
+	Value float64
+	Time  time.Time
+	Trace TraceContext
 }
 
 // NewHistogram creates a histogram with the given upper bounds (must be
@@ -89,6 +116,41 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// ObserveExemplar records one value and, when tc is a sampled trace,
+// retains (v, now, tc) in the exemplar ring. The unsampled path is
+// exactly Observe; the sampled path adds one mutex-guarded slot write —
+// neither allocates (pinned by TestHotPathAllocs).
+func (h *Histogram) ObserveExemplar(v float64, tc TraceContext) {
+	h.Observe(v)
+	if !tc.Valid() || !tc.Sampled() {
+		return
+	}
+	now := time.Now().UnixNano()
+	h.exMu.Lock()
+	h.ex[h.exNext] = exemplar{vBits: math.Float64bits(v), t: now, tc: tc}
+	h.exNext = (h.exNext + 1) % exemplarRingSize
+	if h.exN < exemplarRingSize {
+		h.exN++
+	}
+	h.exMu.Unlock()
+}
+
+// Exemplars returns the retained exemplars, newest first.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	out := make([]Exemplar, 0, h.exN)
+	for i := 0; i < h.exN; i++ {
+		s := h.ex[(h.exNext-1-i+2*exemplarRingSize)%exemplarRingSize]
+		out = append(out, Exemplar{
+			Value: math.Float64frombits(s.vBits),
+			Time:  time.Unix(0, s.t),
+			Trace: s.tc,
+		})
+	}
+	return out
+}
+
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
@@ -104,9 +166,34 @@ func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()
 // Max returns the largest observed value (0 when empty).
 func (h *Histogram) Max() float64 { return math.Float64frombits(h.maxBits.Load()) }
 
+// Overflow returns the number of observations above the top bucket
+// bound. A nonzero overflow means the bucket layout is too small for
+// the workload and interpolated tail quantiles lean on Max().
+func (h *Histogram) Overflow() uint64 { return h.counts[len(h.bounds)].Load() }
+
+// CountAbove returns the number of observations recorded in buckets
+// lying entirely above threshold (lower bound >= threshold), plus the
+// overflow bucket. Observations sharing a bucket with the threshold are
+// not counted — align thresholds to bucket bounds for exact results.
+func (h *Histogram) CountAbove(threshold float64) uint64 {
+	var n uint64
+	for i := range h.counts {
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		if lo >= threshold {
+			n += h.counts[i].Load()
+		}
+	}
+	return n
+}
+
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
-// interpolation inside the bucket that contains it. The top (+Inf)
-// bucket reports its lower bound; an empty histogram reports 0.
+// interpolation inside the bucket that contains it. The overflow
+// (+Inf) bucket interpolates between the top bound and the tracked
+// maximum, so a tail that escaped the bucket layout still moves p999
+// instead of clamping to the top bound; an empty histogram reports 0.
 func (h *Histogram) Quantile(q float64) float64 {
 	total := h.count.Load()
 	if total == 0 {
@@ -125,10 +212,12 @@ func (h *Histogram) Quantile(q float64) float64 {
 			if i > 0 {
 				lo = h.bounds[i-1]
 			}
-			if i >= len(h.bounds) {
-				return lo // +Inf bucket: best effort, report its floor
+			hi := h.Max()
+			if i < len(h.bounds) {
+				hi = h.bounds[i]
+			} else if hi < lo {
+				return lo // overflow bucket but max lost a race: floor
 			}
-			hi := h.bounds[i]
 			frac := (rank - float64(cum)) / float64(n)
 			if frac < 0 {
 				frac = 0

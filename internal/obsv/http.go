@@ -24,9 +24,32 @@ import (
 // on a loopback (or otherwise firewalled) listener — none of these
 // endpoints are authenticated.
 
-// Handler builds the observability mux. Any of reg, health, tracer may
-// be nil; the corresponding endpoints then report empty state.
+// Endpoint bundles everything the observability mux serves. The
+// diagnosis additions ride the same listener:
+//
+//	/debug/flight  the flight recorder's ring as a dump envelope
+//	/slo           SLO burn rates (text; ?format=json for machines)
+//
+// Any field may be nil/empty; the corresponding endpoints then report
+// empty state.
+type Endpoint struct {
+	Daemon   string
+	Registry *Registry
+	Health   *Health
+	Tracer   *Tracer
+	Flight   *FlightRecorder
+	SLO      *SLOEngine
+}
+
+// Handler builds the observability mux (compatibility form without the
+// diagnosis endpoints).
 func Handler(reg *Registry, health *Health, tracer *Tracer) http.Handler {
+	return Endpoint{Registry: reg, Health: health, Tracer: tracer}.Handler()
+}
+
+// Handler builds the observability mux.
+func (ep Endpoint) Handler() http.Handler {
+	reg, health, tracer := ep.Registry, ep.Health, ep.Tracer
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -71,6 +94,15 @@ func Handler(reg *Registry, health *Health, tracer *Tracer) http.Handler {
 		}
 		json.NewEncoder(w).Encode(spans)
 	})
+	if ep.Flight != nil {
+		mux.HandleFunc("/debug/flight", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			ep.Flight.WriteJSON(w, ep.Daemon, "http")
+		})
+	}
+	if ep.SLO != nil {
+		mux.HandleFunc("/slo", ep.SLO.Handler())
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -89,11 +121,17 @@ type MetricsServer struct {
 // ListenAndServe starts the observability endpoint on addr and returns
 // once the listener is bound; serving continues in the background.
 func ListenAndServe(addr string, reg *Registry, health *Health, tracer *Tracer) (*MetricsServer, error) {
+	return Endpoint{Registry: reg, Health: health, Tracer: tracer}.ListenAndServe(addr)
+}
+
+// ListenAndServe starts the endpoint's server on addr and returns once
+// the listener is bound; serving continues in the background.
+func (ep Endpoint) ListenAndServe(addr string) (*MetricsServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obsv: metrics listen %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, health, tracer)}
+	srv := &http.Server{Handler: ep.Handler()}
 	go srv.Serve(ln)
 	return &MetricsServer{Addr: ln.Addr().String(), srv: srv, ln: ln}, nil
 }

@@ -22,6 +22,7 @@ package obsv
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 )
@@ -63,21 +64,39 @@ func (g *Gauge) Add(d int64) { g.v.Add(d) }
 // Value returns the current value.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
+// FloatGauge is a float64-valued gauge (for rates and ratios like SLO
+// burn rates, which an int64 Gauge cannot carry). Set/Value are single
+// atomics.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// NewFloatGauge returns a standalone float gauge.
+func NewFloatGauge() *FloatGauge { return &FloatGauge{} }
+
+// Set replaces the gauge's value.
+func (g *FloatGauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
 // metric kinds held by a registry entry. Exactly one of the typed
 // fields below is set per entry.
 type entry struct {
-	name  string
-	help  string
-	label string // label key for vec entries
+	name   string
+	help   string
+	label  string // label key for vec entries
+	label2 string // second label key for two-label vec entries
 
-	c  *Counter
-	g  *Gauge
-	h  *Histogram
-	cf func() uint64  // counter func
-	gf func() float64 // gauge func
-	cv *CounterVec
-	gv *GaugeVec
-	hv *HistogramVec
+	c   *Counter
+	g   *Gauge
+	h   *Histogram
+	cf  func() uint64  // counter func
+	gf  func() float64 // gauge func
+	cv  *CounterVec
+	gv  *GaugeVec
+	hv  *HistogramVec
+	gv2 *GaugeVec2
 }
 
 // Registry is a named set of metrics. Constructors are create-or-get:
@@ -227,6 +246,18 @@ func (r *Registry) HistogramVec(name, help, label string, bounds []float64) *His
 	return e.hv
 }
 
+// GaugeVec2 returns a float-gauge family keyed by two labels (e.g.
+// slo_burn_rate{objective="...",window="..."}), creating it if needed.
+func (r *Registry) GaugeVec2(name, help, label1, label2 string) *GaugeVec2 {
+	e := r.lookupOrAdd(name, func() *entry {
+		return &entry{help: help, label: label1, label2: label2, gv2: &GaugeVec2{m: make(map[gv2Key]*FloatGauge)}}
+	})
+	if e.gv2 == nil {
+		panic(fmt.Sprintf("obsv: metric %q already registered as a different kind", name))
+	}
+	return e.gv2
+}
+
 // NewCounterVec returns a standalone counter family (register it with
 // Registry.RegisterCounterVec, or keep it private to a component).
 func NewCounterVec() *CounterVec { return &CounterVec{m: make(map[string]*Counter)} }
@@ -318,6 +349,38 @@ func (v *GaugeVec) With(value string) *Gauge {
 	g = NewGauge()
 	v.m[value] = g
 	v.ks = append(v.ks, value)
+	return g
+}
+
+// gv2Key is a (label1 value, label2 value) pair.
+type gv2Key [2]string
+
+// GaugeVec2 is a family of float gauges distinguished by two label
+// values.
+type GaugeVec2 struct {
+	mu sync.RWMutex
+	m  map[gv2Key]*FloatGauge
+	ks []gv2Key
+}
+
+// With returns the gauge for the given label values, creating it on
+// first use.
+func (v *GaugeVec2) With(v1, v2 string) *FloatGauge {
+	k := gv2Key{v1, v2}
+	v.mu.RLock()
+	g, ok := v.m[k]
+	v.mu.RUnlock()
+	if ok {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.m[k]; ok {
+		return g
+	}
+	g = NewFloatGauge()
+	v.m[k] = g
+	v.ks = append(v.ks, k)
 	return g
 }
 

@@ -162,6 +162,22 @@ func TestHotPathAllocs(t *testing.T) {
 	if n := testing.AllocsPerRun(1000, func() { cv.With("warm").Inc() }); n != 0 {
 		t.Fatalf("CounterVec.With (existing label) allocates %v per op, want 0", n)
 	}
+	fr := NewFlightRecorder(64)
+	tc := NewTrace()
+	if n := testing.AllocsPerRun(1000, func() { fr.Record("serve", "head_advance", "", 42, tc) }); n != 0 {
+		t.Fatalf("FlightRecorder.Record allocates %v per op, want 0", n)
+	}
+	he := NewHistogram(nil)
+	if n := testing.AllocsPerRun(1000, func() { he.ObserveExemplar(1e-3, tc) }); n != 0 {
+		t.Fatalf("Histogram.ObserveExemplar (sampled) allocates %v per op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { he.ObserveExemplar(1e-3, TraceContext{}) }); n != 0 {
+		t.Fatalf("Histogram.ObserveExemplar (unsampled) allocates %v per op, want 0", n)
+	}
+	fg := NewFloatGauge()
+	if n := testing.AllocsPerRun(1000, func() { fg.Set(0.5) }); n != 0 {
+		t.Fatalf("FloatGauge.Set allocates %v per op, want 0", n)
+	}
 }
 
 // TestRegistryRace hammers create-or-get, instrument writes, and both

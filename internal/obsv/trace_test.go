@@ -3,8 +3,10 @@ package obsv
 import (
 	"bytes"
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 )
 
@@ -186,4 +188,52 @@ func FuzzTraceHeader(f *testing.F) {
 			t.Fatalf("accepted header does not round-trip: %x", b)
 		}
 	})
+}
+
+// TestTracerRingWraparoundRace hammers the span ring with concurrent
+// writers well past the wraparound point, asserting no span record is
+// duplicated or torn (every record's trace/span/name must agree with
+// what one writer produced). Run with -race.
+func TestTracerRingWraparoundRace(t *testing.T) {
+	tracer := NewTracer(0) // remote-sampled spans only
+	const writers = 8
+	const perWriter = TraceRingSize // 8x capacity => many wraps
+	var wg sync.WaitGroup
+	for wi := 0; wi < writers; wi++ {
+		wg.Add(1)
+		go func(wi int) {
+			defer wg.Done()
+			for j := 0; j < perWriter; j++ {
+				tc := NewTrace()
+				// The name encodes the span id: a torn record (name
+				// from one span, ids from another) becomes detectable.
+				sp := tracer.StartRemote(tc, "span-"+hex.EncodeToString(tc.SpanID[:]))
+				sp.End(nil)
+				if j%64 == 0 {
+					tracer.Spans() // concurrent readers while wrapping
+				}
+			}
+		}(wi)
+	}
+	wg.Wait()
+	spans := tracer.Spans()
+	if len(spans) != TraceRingSize {
+		t.Fatalf("retained %d spans, want the full ring of %d", len(spans), TraceRingSize)
+	}
+	seen := make(map[string]bool, len(spans))
+	for i, sp := range spans {
+		if sp.Name != "span-"+sp.Span {
+			t.Fatalf("span %d torn: name %q does not match span id %q", i, sp.Name, sp.Span)
+		}
+		if seen[sp.Span] {
+			t.Fatalf("span id %s appears twice in the ring", sp.Span)
+		}
+		seen[sp.Span] = true
+		if sp.Trace == "" || sp.Start.IsZero() {
+			t.Fatalf("span %d incomplete: %+v", i, sp)
+		}
+	}
+	if got := tracer.finished.Value(); got != writers*perWriter {
+		t.Fatalf("finished = %d, want %d", got, writers*perWriter)
+	}
 }

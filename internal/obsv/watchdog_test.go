@@ -1,0 +1,214 @@
+package obsv
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Watchdog trips are evaluated by driving tick() directly — no real
+// ticker, no sleeps proportional to deadlines.
+
+func TestWatchdogOperationMode(t *testing.T) {
+	dir := t.TempDir()
+	fr := NewFlightRecorder(16)
+	set := NewWatchdogSet("testd", dir, fr)
+	set.SetProfileGap(0)
+	reg := NewRegistry()
+	set.Register(reg)
+	h := NewHealth()
+	set.BindHealth(h)
+	w := set.Add("wal-fsync", 100*time.Millisecond)
+
+	now := time.Now()
+	set.tick(now)
+	if w.Stalled() || w.Trips() != 0 {
+		t.Fatal("idle watchdog must not be stalled")
+	}
+
+	w.Arm()
+	set.tick(now.Add(50 * time.Millisecond))
+	if w.Stalled() {
+		t.Fatal("armed under deadline must not be stalled")
+	}
+	set.tick(now.Add(200 * time.Millisecond))
+	if !w.Stalled() {
+		t.Fatal("armed past deadline must be stalled")
+	}
+	if w.Trips() != 1 {
+		t.Fatalf("trips = %d, want 1", w.Trips())
+	}
+	// Still stalled on the next tick: same episode, no second trip.
+	set.tick(now.Add(300 * time.Millisecond))
+	if w.Trips() != 1 {
+		t.Fatalf("trips after second tick = %d, want 1 (one episode)", w.Trips())
+	}
+	if v := reg.Value(`watchdog_stalled{watchdog="wal-fsync"}`); v != 1 {
+		t.Fatalf("watchdog_stalled = %v, want 1", v)
+	}
+	if v := reg.Value(`watchdog_trips_total{watchdog="wal-fsync"}`); v != 1 {
+		t.Fatalf("watchdog_trips_total = %v, want 1", v)
+	}
+
+	// Degraded, not failed: Ready() passes while the degraded probe
+	// names the stall.
+	if err := h.Ready(); err != nil {
+		t.Fatalf("Ready() = %v, want nil while merely degraded", err)
+	}
+	deg := h.DegradedStates()
+	if _, ok := deg["watchdog:wal-fsync"]; !ok {
+		t.Fatalf("degraded states = %v, want watchdog:wal-fsync", deg)
+	}
+	if !strings.Contains(h.Report(), "degraded watchdog:wal-fsync: stalled") {
+		t.Fatalf("report lacks degraded line:\n%s", h.Report())
+	}
+
+	// The trip recorded a flight event with a fresh trace id and
+	// captured profile snapshots.
+	var stall *FlightEvent
+	for _, e := range fr.Events() {
+		if e.Component == "watchdog" && e.Kind == "stall" {
+			stall = &e
+			break
+		}
+	}
+	if stall == nil {
+		t.Fatal("no watchdog stall event in the flight recorder")
+	}
+	if stall.Trace == "" || !strings.Contains(stall.Detail, "wal-fsync") {
+		t.Fatalf("stall event = %+v, want trace id and watchdog name", stall)
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "stall-wal-fsync-*.goroutines.txt")); len(m) == 0 {
+		t.Fatal("no goroutine snapshot captured on trip")
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "stall-wal-fsync-*.heap.pprof")); len(m) == 0 {
+		t.Fatal("no heap snapshot captured on trip")
+	}
+	if m, _ := filepath.Glob(filepath.Join(dir, "flight-*.json")); len(m) == 0 {
+		t.Fatal("no flight dump written on trip")
+	}
+
+	// Done clears the episode and the degraded state.
+	w.Done()
+	set.tick(now.Add(400 * time.Millisecond))
+	if w.Stalled() {
+		t.Fatal("completed operation must clear the stall")
+	}
+	if len(h.DegradedStates()) != 0 {
+		t.Fatalf("degraded states after recovery = %v, want none", h.DegradedStates())
+	}
+	if v := reg.Value(`watchdog_stalled{watchdog="wal-fsync"}`); v != 0 {
+		t.Fatalf("watchdog_stalled after recovery = %v, want 0", v)
+	}
+
+	// A new stall is a new episode.
+	w.Arm()
+	set.tick(now.Add(1 * time.Second))
+	if w.Trips() != 2 {
+		t.Fatalf("trips after second episode = %d, want 2", w.Trips())
+	}
+	w.Done()
+}
+
+func TestWatchdogProbeMode(t *testing.T) {
+	set := NewWatchdogSet("testd", t.TempDir(), nil)
+	set.SetProfileGap(time.Hour)
+	lag := 0
+	w := set.AddProbe("frontier-lag", 100*time.Millisecond, func() (bool, string) {
+		return lag > 0, "frontier lagging"
+	})
+	now := time.Now()
+	set.tick(now)
+	if w.Stalled() {
+		t.Fatal("healthy probe must not stall")
+	}
+	lag = 5
+	set.tick(now.Add(10 * time.Millisecond)) // first bad tick starts the clock
+	if w.Stalled() {
+		t.Fatal("condition must hold for the deadline before stalling")
+	}
+	set.tick(now.Add(200 * time.Millisecond))
+	if !w.Stalled() || w.Trips() != 1 {
+		t.Fatalf("stalled=%v trips=%d, want stalled after deadline held", w.Stalled(), w.Trips())
+	}
+	lag = 0
+	set.tick(now.Add(300 * time.Millisecond))
+	if w.Stalled() {
+		t.Fatal("recovered probe must clear the stall")
+	}
+	// Flap: condition returns, clock restarts from zero.
+	lag = 5
+	set.tick(now.Add(310 * time.Millisecond))
+	if w.Stalled() {
+		t.Fatal("fresh stall must re-arm the deadline, not trip instantly")
+	}
+	set.tick(now.Add(500 * time.Millisecond))
+	if w.Trips() != 2 {
+		t.Fatalf("trips = %d, want 2 after second held episode", w.Trips())
+	}
+}
+
+func TestWatchdogProfileRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	set := NewWatchdogSet("testd", dir, NewFlightRecorder(8))
+	set.SetProfileGap(time.Hour)
+	w := set.Add("op", 10*time.Millisecond)
+	now := time.Now()
+	for i := 0; i < 3; i++ {
+		w.Arm()
+		set.tick(now.Add(time.Duration(i+1) * time.Second))
+		w.Done()
+	}
+	if w.Trips() != 3 {
+		t.Fatalf("trips = %d, want 3", w.Trips())
+	}
+	m, _ := filepath.Glob(filepath.Join(dir, "stall-op-*.goroutines.txt"))
+	if len(m) != 1 {
+		var names []string
+		for _, p := range m {
+			names = append(names, filepath.Base(p))
+		}
+		t.Fatalf("profile snapshots = %v, want exactly 1 (rate-limited)", names)
+	}
+}
+
+func TestWatchdogNilSafety(t *testing.T) {
+	var w *Watchdog
+	w.Arm()
+	w.Done()
+	if w.Stalled() || w.Trips() != 0 || w.Name() != "" {
+		t.Fatal("nil watchdog must be inert")
+	}
+	var s *WatchdogSet
+	s.Start(time.Second)
+	s.Close()
+	s.Register(nil2())
+	s.BindHealth(nil)
+	if s.Add("x", time.Second) != nil {
+		t.Fatal("nil set must return nil watchdogs")
+	}
+}
+
+// nil2 keeps the nil-registry call from being a typed-nil footgun in
+// the test above.
+func nil2() *Registry { return nil }
+
+func TestWatchdogStartClose(t *testing.T) {
+	set := NewWatchdogSet("testd", t.TempDir(), nil)
+	probeCalls := make(chan struct{}, 64)
+	set.AddProbe("ticker", time.Hour, func() (bool, string) {
+		select {
+		case probeCalls <- struct{}{}:
+		default:
+		}
+		return false, ""
+	})
+	set.Start(10 * time.Millisecond)
+	select {
+	case <-probeCalls:
+	case <-time.After(5 * time.Second):
+		t.Fatal("ticker never evaluated the probe")
+	}
+	set.Close()
+}

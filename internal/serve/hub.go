@@ -136,6 +136,11 @@ func (h *Hub) pendingTotal() int {
 	return total
 }
 
+// Pending reports the push backlog: heads queued but not yet flushed
+// across all subscribers. Exported for the serve-push-drain watchdog
+// probe, which needs the instantaneous value between scrapes.
+func (h *Hub) Pending() int { return h.pendingTotal() }
+
 // Close drops every subscription. Connections stay open (the transport
 // server owns them).
 func (h *Hub) Close() {

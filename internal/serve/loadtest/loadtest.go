@@ -62,11 +62,28 @@ type Result struct {
 	HitRate    float64 `json:"cache_hit_rate"`
 	Errors     int     `json:"errors"`
 
+	// SLO compliance of this run against the fleet's default
+	// proof-serving objective (p99 of proof latency under
+	// SLOThresholdSeconds at target SLOTarget): the fraction of requests
+	// inside the threshold, and the burn rate a daemon's SLO engine
+	// would report for this traffic — >= 1 means the error budget burns
+	// faster than it accrues.
+	SLOCompliance float64 `json:"slo_compliance"`
+	SLOBurnRate   float64 `json:"slo_burn_rate"`
+
 	// Metrics is the tier's registry snapshot after the run (cached
 	// scenarios only) — the same flattened series map "servestats"
 	// returns on the wire.
 	Metrics map[string]float64 `json:"serve_metrics,omitempty"`
 }
+
+// The proof-serving objective the load test scores itself against —
+// the same numbers as obsv.DefaultMonitorSLOs' proof-serve-p99 entry
+// (threshold on a LatencyBuckets bound so CountAbove is exact).
+const (
+	SLOThresholdSeconds = 0.016384
+	SLOTarget           = 0.99
+)
 
 // Fixture is a fully provisioned monitor + serving tier over a seeded
 // log, the same stack the daemons run.
@@ -236,6 +253,10 @@ func Run(f *Fixture, opts Options) (*Result, error) {
 		P999us:     lat.Quantile(0.999) * 1e6,
 		MaxUs:      lat.Max() * 1e6,
 		Errors:     errors,
+	}
+	if n := lat.Count(); n > 0 {
+		res.SLOCompliance = 1 - float64(lat.CountAbove(SLOThresholdSeconds))/float64(n)
+		res.SLOBurnRate = (1 - res.SLOCompliance) / (1 - SLOTarget)
 	}
 	if !opts.Uncached {
 		after := f.Tier.Metrics().Snapshot()

@@ -38,6 +38,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/aolog"
 	"repro/internal/gossip"
@@ -192,6 +193,13 @@ type Tier struct {
 	stale atomic.Pointer[headSnap] // previous published head
 	fail  atomic.Pointer[error]    // poison: set once, never cleared
 
+	// flight records operational transitions (head advances, poisoning,
+	// admission refusals) when a daemon installs its recorder; nil-safe.
+	// Refusals are rate-limited: under sustained overload every request
+	// refuses, and the ring must not become a wall of identical events.
+	flight      atomic.Pointer[obsv.FlightRecorder]
+	refuseLimit *obsv.FlightLimiter
+
 	degraded    atomic.Uint64
 	headsSigned atomic.Uint64
 
@@ -217,14 +225,15 @@ func Attach(b Backend, opts Options) (*Tier, error) {
 		opts.Metrics = obsv.NewRegistry()
 	}
 	t := &Tier{
-		b:      b,
-		opts:   opts,
-		reg:    opts.Metrics,
-		cache:  newProofCache(opts.CacheEntries),
-		gate:   newGate(opts.MaxInFlight, opts.MaxWaiters),
-		hub:    NewHub(opts.Source),
-		kick:   make(chan struct{}, 1),
-		closed: make(chan struct{}),
+		b:           b,
+		opts:        opts,
+		reg:         opts.Metrics,
+		cache:       newProofCache(opts.CacheEntries),
+		gate:        newGate(opts.MaxInFlight, opts.MaxWaiters),
+		hub:         NewHub(opts.Source),
+		kick:        make(chan struct{}, 1),
+		closed:      make(chan struct{}),
+		refuseLimit: obsv.NewFlightLimiter(100 * time.Millisecond),
 	}
 	t.registerMetrics()
 	snap, err := t.sign()
@@ -272,7 +281,23 @@ func (t *Tier) failed() error {
 // poison marks the tier failed-closed: every subsequent request errors.
 func (t *Tier) poison(err error) {
 	e := fmt.Errorf("serve: refusing to serve: %w", err)
-	t.fail.CompareAndSwap(nil, &e)
+	if t.fail.CompareAndSwap(nil, &e) {
+		t.flight.Load().Record("serve", "poison", err.Error(), 0, obsv.TraceContext{})
+	}
+}
+
+// SetFlightRecorder installs the daemon's flight recorder on the tier.
+// Call any time after Attach; nil uninstalls. Safe under traffic.
+func (t *Tier) SetFlightRecorder(fr *obsv.FlightRecorder) {
+	t.flight.Store(fr)
+}
+
+// refused notes an admission refusal in the flight ring, at most once
+// per 100ms so a refusal storm reads as a marker, not a flood.
+func (t *Tier) refused(detail string) {
+	if fr := t.flight.Load(); fr != nil && t.refuseLimit.Allow() {
+		fr.Record("serve", "admission_refused", detail, 0, obsv.TraceContext{})
+	}
 }
 
 // sign produces a head snapshot at the backend's current size.
@@ -353,6 +378,7 @@ func (t *Tier) refreshHead() {
 	}
 	t.stale.Store(cur)
 	t.head.Store(snap)
+	t.flight.Load().Record("serve", "head_advance", "", uint64(snap.size), obsv.TraceContext{})
 	t.hub.Publish([]gossip.GossipHead{snap.gh})
 }
 
@@ -381,6 +407,7 @@ func (t *Tier) Proof(req *ProofRequest) (*ProofResponse, error) {
 	}
 	cp, err := t.inclusion(size, req.Index)
 	if errors.Is(err, ErrOverloaded) {
+		t.refused("proof")
 		return t.degrade(req, snap)
 	}
 	if err != nil {
@@ -485,6 +512,9 @@ func (t *Tier) Consistency(oldSize, newSize int) (*aolog.ShardConsistencyProof, 
 		v, err = t.cache.do(consistencyKey(oldSize, newSize), compute)
 	}
 	if err != nil {
+		if errors.Is(err, ErrOverloaded) {
+			t.refused("consistency")
+		}
 		return nil, err
 	}
 	return v.(*aolog.ShardConsistencyProof), nil

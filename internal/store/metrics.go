@@ -1,6 +1,7 @@
 package store
 
 import (
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obsv"
@@ -25,6 +26,15 @@ type storeObs struct {
 
 	snapshots   obsv.Counter
 	snapshotLat *obsv.Histogram
+
+	// Diagnosis hooks, installed (or not) by SetDiagnostics after Open.
+	// Loaded atomically on the WAL sync path; nil means no-op — the
+	// flight recorder and watchdog are both nil-safe.
+	flight   atomic.Pointer[obsv.FlightRecorder]
+	fsyncDog atomic.Pointer[obsv.Watchdog]
+	// fsyncStall injects a sleep (nanoseconds) before each WAL fsync —
+	// the e2e stall-injection test hook (Options.FsyncStall).
+	fsyncStall atomic.Int64
 }
 
 func newStoreObs() *storeObs {
@@ -37,6 +47,18 @@ func newStoreObs() *storeObs {
 
 // observeDur records d into h; split out so call sites stay one line.
 func observeDur(h *obsv.Histogram, start time.Time) { h.ObserveDuration(time.Since(start)) }
+
+// SetDiagnostics installs the flight recorder and the WAL-fsync stall
+// watchdog. Call after Open, before traffic; either may be nil.
+func (s *Store) SetDiagnostics(fr *obsv.FlightRecorder, fsyncDog *obsv.Watchdog) {
+	s.obs.flight.Store(fr)
+	s.obs.fsyncDog.Store(fsyncDog)
+}
+
+// record emits a flight event if a recorder is installed.
+func (o *storeObs) record(kind, detail string, value uint64) {
+	o.flight.Load().Record("store", kind, detail, value, obsv.TraceContext{})
+}
 
 // RegisterMetrics exposes the store's instruments on reg under store_*
 // names. Call once per registry; the store must outlive scrapes.

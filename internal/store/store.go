@@ -40,6 +40,11 @@ type Options struct {
 	FlushThresholdBytes int64
 	// SegmentMaxBytes caps one segment file. Default 64 MiB.
 	SegmentMaxBytes int64
+	// FsyncStall injects a sleep before every WAL fsync. Diagnosis test
+	// hook only (daemons gate it behind -debug-hooks): it makes a
+	// stalled disk reproducible so watchdog trips and SLO burns can be
+	// asserted end to end.
+	FsyncStall time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -131,6 +136,9 @@ func Open(dir string, opts Options) (*Store, error) {
 	}
 
 	s := &Store{dir: dir, opts: o, obs: newStoreObs(), shards: make([]*segmentShard, o.Shards)}
+	if o.FsyncStall > 0 {
+		s.obs.fsyncStall.Store(int64(o.FsyncStall))
+	}
 
 	// 1. Settled leaves from segment files, placed by global index.
 	var leaves [][]byte
@@ -414,6 +422,7 @@ func (s *Store) checkpointLocked() error {
 	s.base = s.total
 	s.pending = nil
 	s.obs.walRotations.Inc()
+	s.obs.record("wal_rotation", "", uint64(s.walSeq))
 	if err := old.close(); err != nil && s.err == nil {
 		s.err = err
 		return err
@@ -430,6 +439,7 @@ func (s *Store) checkpointLocked() error {
 	}
 	s.obs.checkpoints.Inc()
 	observeDur(s.obs.checkpointLat, cpStart)
+	s.obs.record("checkpoint", "", uint64(s.total))
 	return nil
 }
 

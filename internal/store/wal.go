@@ -81,8 +81,17 @@ func (w *wal) syncTo(end int64) error {
 		w.syncing = true
 		target := w.written // everything written before this fsync is covered
 		w.mu.Unlock()
+		// The watchdog brackets the leader's fsync (nil-safe when no
+		// diagnostics are installed); the injected stall, when armed,
+		// counts as fsync time so latency SLOs see it too.
+		dog := w.obs.fsyncDog.Load()
+		dog.Arm()
 		syncStart := time.Now()
+		if stall := time.Duration(w.obs.fsyncStall.Load()); stall > 0 {
+			time.Sleep(stall)
+		}
 		err := w.f.Sync()
+		dog.Done()
 		w.obs.fsyncs.Inc()
 		observeDur(w.obs.fsyncLatency, syncStart)
 		w.mu.Lock()

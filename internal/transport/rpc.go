@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/obsv"
@@ -49,6 +50,12 @@ type Server struct {
 	conns        map[net.Conn]struct{}
 
 	obs *serverObs // nil until Instrument; set before Serve
+
+	// flight records dispatch failures (with the request's trace id, so
+	// a flight dump links straight to /traces); errLimit keeps an error
+	// storm from wiping the ring. Both are nil-safe.
+	flight   atomic.Pointer[obsv.FlightRecorder]
+	errLimit *obsv.FlightLimiter
 }
 
 // serverObs holds the server's telemetry instruments (per-kind request
@@ -75,7 +82,14 @@ func NewServer() *Server {
 		noBatch:      make(map[string]bool),
 		closed:       make(chan struct{}),
 		conns:        make(map[net.Conn]struct{}),
+		errLimit:     obsv.NewFlightLimiter(100 * time.Millisecond),
 	}
+}
+
+// SetFlightRecorder installs the daemon's flight recorder on the server.
+// Call any time (typically right after Instrument); nil uninstalls.
+func (s *Server) SetFlightRecorder(fr *obsv.FlightRecorder) {
+	s.flight.Store(fr)
 }
 
 // Instrument registers the server's RPC metrics on reg and, when tracer
@@ -273,10 +287,15 @@ func (s *Server) dispatchConn(ctx context.Context, req *Request, p *Pusher) *Res
 	resp := s.route(ctx, req, p)
 	if obs != nil {
 		obs.reqs.With(req.Kind).Inc()
-		obs.lat.With(req.Kind).Since(start)
+		// Exemplar-aware latency: sampled requests pin their trace id to
+		// the bucket they land in, so an SLO breach can name traces.
+		obs.lat.With(req.Kind).ObserveExemplar(time.Since(start).Seconds(), obsv.TraceFrom(ctx))
 		if !resp.OK {
 			obs.errs.With(req.Kind).Inc()
 		}
+	}
+	if !resp.OK && s.errLimit.Allow() {
+		s.flight.Load().Record("rpc", "error", req.Kind+": "+resp.Error, 0, obsv.TraceFrom(ctx))
 	}
 	if span != nil {
 		if resp.OK {

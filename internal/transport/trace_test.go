@@ -229,8 +229,10 @@ func TestUntracedCallsStayClassic(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	var resp echoResp
-	if err := c.CallCtx(context.TODO(), "echo", echoReq{Text: "hi", N: 1}, &resp); err != nil {
+	if err := c.CallCtx(ctx, "echo", echoReq{Text: "hi", N: 1}, &resp); err != nil {
 		t.Fatal(err)
 	}
 	if resp.Text != "hi" {
