@@ -51,6 +51,7 @@ import (
 	"repro/internal/aolog"
 	"repro/internal/bls"
 	"repro/internal/bls12381"
+	"repro/internal/fault"
 	"repro/internal/gossip"
 	"repro/internal/obsv"
 	"repro/internal/serve"
@@ -65,11 +66,13 @@ func fatal(msg string, args ...any) {
 	os.Exit(1)
 }
 
-// sourceConn is one watched monitor.
+// sourceConn is one watched monitor. The connection is managed — lazy
+// reconnect, retry/backoff, circuit breaker — so a monitor restart or a
+// transient partition costs a retried call, not a dead witness.
 type sourceConn struct {
 	name string
 	addr string
-	conn *transport.Client
+	conn *transport.ManagedClient
 }
 
 type monitorInfo struct {
@@ -104,6 +107,11 @@ func main() {
 		lagDeadline = flag.Duration("lag-deadline", 30*time.Second, "frontier-lag watchdog deadline: how long the worst source lag may stay above -lag-threshold before the witness degrades (0 disables)")
 		lagMax      = flag.Uint64("lag-threshold", 1024, "frontier-lag watchdog threshold (leaves)")
 		sloInterval = flag.Duration("slo-interval", obsv.DefaultSLOInterval, "SLO burn-rate sampling interval")
+
+		rpcTimeout    = flag.Duration("rpc-timeout", 10*time.Second, "per-call deadline (and connect timeout) on RPCs to sources and peers; 0 disables")
+		debugHooks    = flag.Bool("debug-hooks", false, "enable fault-injection flags — test deployments only")
+		faultSchedule = flag.String("fault-schedule", "", "deterministic fault-injection schedule file (requires -debug-hooks)")
+		faultTarget   = flag.String("fault-target", "auditord", "target name this process matches in the fault schedule")
 	)
 	flag.Parse()
 	if *sources == "" {
@@ -130,6 +138,36 @@ func main() {
 	defer fr.DumpOnPanic(diagDir, "auditord")
 	dogs := obsv.NewWatchdogSet("auditord", diagDir, fr)
 	dogs.SetLogger(logger)
+
+	// Chaos plane (see cmd/monitord): deterministic seeded fault
+	// injection on every dial, accept, and I/O this process performs.
+	var inj *fault.Injector
+	if *faultSchedule != "" {
+		if !*debugHooks {
+			fatal("-fault-schedule requires -debug-hooks")
+		}
+		sched, err := fault.LoadSchedule(*faultSchedule)
+		if err != nil {
+			fatal("loading fault schedule", "err", err)
+		}
+		inj = fault.Activate(sched, *faultTarget)
+		inj.SetFlightRecorder(fr)
+		transport.SetDialHook(inj.Dial)
+		transport.SetListenerWrap(inj.Listener)
+		logger.Info("chaos plane armed", "schedule", *faultSchedule,
+			"target", *faultTarget, "seed", sched.Seed, "rules", len(sched.Rules))
+	}
+
+	// Every source and peer RPC kind this witness issues is idempotent
+	// (head/consistency reads and monotone gossip merges), so the managed
+	// client's retry policy is safe across the board.
+	mopts := transport.ManagedOptions{
+		ConnectTimeout: *rpcTimeout,
+		CallTimeout:    *rpcTimeout,
+		OnRetry: func(kind string, attempt int, err error) {
+			logger.Warn("rpc retry", "kind", kind, "attempt", attempt, "err", err)
+		},
+	}
 
 	var w *gossip.Witness
 	if *dataDir != "" {
@@ -178,11 +216,7 @@ func main() {
 			fatal("bad -sources entry (want name=addr)", "entry", entry)
 		}
 		sc := &sourceConn{name: parts[0], addr: parts[1]}
-		var err error
-		sc.conn, err = transport.Dial(sc.addr)
-		if err != nil {
-			fatal("dialing source", "source", sc.name, "err", err)
-		}
+		sc.conn = transport.DialManaged(sc.addr, mopts)
 		var info monitorInfo
 		if err := sc.conn.Call("info", struct{}{}, &info); err != nil {
 			fatal("fetching source identity", "source", sc.name, "err", err)
@@ -199,13 +233,13 @@ func main() {
 	}
 
 	// Connect to peers; accept their cosigning keys (TOFU for the demo).
+	// Peers ride managed clients too: a peer witness that restarts or
+	// drops mid-round is retried and, if persistently dead, its circuit
+	// opens so rounds skip it cheaply until it heals.
 	var peerConns []*gossip.Peer
 	if *peers != "" {
 		for _, addr := range strings.Split(*peers, ",") {
-			p, err := gossip.DialPeer(strings.TrimSpace(addr))
-			if err != nil {
-				fatal("dialing peer", "peer", addr, "err", err)
-			}
+			p := gossip.NewPeer(transport.DialManaged(strings.TrimSpace(addr), mopts))
 			info, err := p.Info()
 			if err != nil {
 				fatal("fetching peer identity", "peer", addr, "err", err)
@@ -265,11 +299,14 @@ func main() {
 	// With -subscribe, open a push channel from every source: pushed
 	// heads are verified+cosigned the moment they arrive, and the
 	// refreshed frontier is pushed onward to this witness's subscribers.
+	var autos []*serve.AutoSubscriber
 	if *subscribe {
 		for _, sc := range srcs {
-			if err := subscribeSource(w, sc, publishFrontier); err != nil {
+			auto, err := subscribeSource(w, sc, *rpcTimeout, inj, publishFrontier)
+			if err != nil {
 				fatal("subscribing to source", "source", sc.name, "err", err)
 			}
+			autos = append(autos, auto)
 		}
 	}
 	srv.Instrument(reg, tracer)
@@ -332,6 +369,9 @@ func main() {
 	got := <-sig
 	logger.Info("shutting down", "signal", got.String())
 	srv.Close()
+	for _, a := range autos {
+		a.Close()
+	}
 	stopDumps()
 	dogs.Close()
 	slo.Close()
@@ -346,43 +386,57 @@ func main() {
 	}
 }
 
-// subscribeSource opens a dedicated push connection to one source (the
-// polling connection stays synchronous request/response) and processes
-// pushed heads off the read loop: a mailbox keeps only the latest pushed
-// head per source, a worker fetches the consistency proof bridging the
-// witness's frontier (over the same subscribed connection, pinned to the
-// pushed size so a growing log cannot outrun it), ingests, and publishes
-// the refreshed cosigned frontier onward. A dead push channel is logged
-// and abandoned — the polling path keeps the witness correct.
-func subscribeSource(w *gossip.Witness, sc *sourceConn, publish func()) error {
-	conn, err := net.Dial("tcp", sc.addr)
-	if err != nil {
-		return err
+// subscribeSource opens a self-healing push channel to one source (the
+// polling connection stays synchronous request/response): an
+// AutoSubscriber redials with jittered backoff whenever the connection
+// dies, resumes from the per-source floors of everything already
+// delivered, and re-subscribes — so across any number of reconnects the
+// worker sees one strictly-increasing head sequence, with no duplicate
+// deliveries and no regressions. Pushed heads are processed off the
+// read loop: a mailbox keeps only the latest pushed head, a worker
+// fetches the consistency proof bridging the witness's frontier (over
+// the same subscribed connection, pinned to the pushed size so a
+// growing log cannot outrun it), ingests, and publishes the refreshed
+// cosigned frontier onward. While the channel is down the polling path
+// keeps the witness correct; the subscription catches back up on its
+// own when the source heals.
+func subscribeSource(w *gossip.Witness, sc *sourceConn, dialTimeout time.Duration, inj *fault.Injector, publish func()) (*serve.AutoSubscriber, error) {
+	if dialTimeout <= 0 {
+		dialTimeout = transport.DefaultDialTimeout
 	}
-	sub := serve.NewSubscriber(conn)
-
 	var mu sync.Mutex
 	var latest *gossip.GossipHead
 	kick := make(chan struct{}, 1)
-	sub.OnHeads = func(_ string, heads []gossip.GossipHead) {
-		// Read-loop context: park the newest head and return. Calling
-		// sub.Call here would deadlock (the response needs this loop).
-		mu.Lock()
-		latest = &heads[len(heads)-1]
-		mu.Unlock()
-		select {
-		case kick <- struct{}{}:
-		default:
-		}
+	auto, err := serve.NewAutoSubscriber(serve.AutoOptions{
+		From: w.Name(),
+		// Dial through the injector so chaos schedules partition the push
+		// channel too (a nil injector dials plainly).
+		Dial: func() (net.Conn, error) { return inj.Dial(sc.addr, dialTimeout) },
+		OnHeads: func(_ string, heads []gossip.GossipHead) {
+			// Read-loop context: park the newest head and return. Calling
+			// auto.Call here would deadlock (the response needs this loop).
+			mu.Lock()
+			latest = &heads[len(heads)-1]
+			mu.Unlock()
+			select {
+			case kick <- struct{}{}:
+			default:
+			}
+		},
+		OnState: func(event string, err error) {
+			switch event {
+			case "connected":
+				logger.Info("push channel up", "source", sc.name)
+			case "disconnected":
+				logger.Warn("push channel lost, reconnecting (polling continues)", "source", sc.name, "err", err)
+			}
+		},
+	})
+	if err != nil {
+		return nil, err
 	}
 	go func() {
-		for {
-			select {
-			case <-sub.Done():
-				logger.Warn("push channel closed, polling continues", "source", sc.name, "err", sub.Err())
-				return
-			case <-kick:
-			}
+		for range kick {
 			mu.Lock()
 			gh := latest
 			latest = nil
@@ -397,7 +451,7 @@ func subscribeSource(w *gossip.Witness, sc *sourceConn, publish func()) error {
 					OldSize int `json:"old_size"`
 					NewSize int `json:"new_size"`
 				}{OldSize: int(front.Size), NewSize: int(gh.Head.Size)}
-				if err := sub.Call("consistency", req, cons); err != nil {
+				if err := auto.Call("consistency", req, cons); err != nil {
 					logger.Warn("consistency for pushed head failed", "source", sc.name, "size", gh.Head.Size, "err", err)
 					continue
 				}
@@ -413,7 +467,7 @@ func subscribeSource(w *gossip.Witness, sc *sourceConn, publish func()) error {
 			publish()
 		}
 	}()
-	return sub.Subscribe(w.Name())
+	return auto, nil
 }
 
 // pullSource fetches the source's current BLS head, plus a consistency

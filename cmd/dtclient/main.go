@@ -35,6 +35,11 @@
 // one bls.VerifyBatch pairing check. Any equivocation proof surfaced by a
 // witness (or detected by the client across witness answers) is verified
 // offline and reported.
+//
+// Every subcommand runs to an error RETURN, not an exit, so deferred
+// connection closes always execute — an early failure cannot leak
+// half-open sockets into the daemons' connection tables. -rpc-timeout
+// bounds both connection establishment and each individual call.
 package main
 
 import (
@@ -45,6 +50,7 @@ import (
 	"log"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/aolog"
 	"repro/internal/audit"
@@ -64,18 +70,29 @@ import (
 // the daemons' logs and /traces pages by its trace id.
 var rootTrace obsv.TraceContext
 
+// callTimeout bounds connection establishment and every individual RPC
+// (from -rpc-timeout; 0 disables the per-call deadline).
+var callTimeout time.Duration
+
+// errFindings marks a run that completed but reported misbehavior: the
+// process exits nonzero without the "dtclient:" error banner (the
+// findings were already printed).
+var errFindings = errors.New("misbehavior findings reported")
+
 func main() {
 	log.SetFlags(0)
 	paramsPath := flag.String("params", "deployment.json", "deployment parameters file from trustdomaind")
 	trace := flag.Bool("trace", false, "send a sampled trace context with every RPC and print its id")
+	rpcTimeout := flag.Duration("rpc-timeout", 10*time.Second, "connect timeout and per-call deadline for every RPC; 0 disables the per-call deadline")
 	flag.Parse()
 	if flag.NArg() < 1 {
-		log.Fatal("dtclient: need a subcommand: audit | sign | signbatch | refresh | status")
+		log.Fatal("dtclient: need a subcommand: audit | sign | signbatch | refresh | status | witnessaudit")
 	}
 	if *trace {
 		rootTrace = obsv.NewTrace()
 		fmt.Fprintf(os.Stderr, "trace %s\n", hex.EncodeToString(rootTrace.TraceID[:]))
 	}
+	callTimeout = *rpcTimeout
 
 	file, err := deployfile.Read(*paramsPath)
 	if err != nil {
@@ -88,20 +105,49 @@ func main() {
 
 	switch flag.Arg(0) {
 	case "audit":
-		runAudit(params)
+		err = runAudit(params)
 	case "sign":
-		runSign(*paramsPath, file, params, flag.Args()[1:])
+		err = runSign(*paramsPath, file, params, flag.Args()[1:])
 	case "signbatch":
-		runSignBatch(*paramsPath, file, params, flag.Args()[1:])
+		err = runSignBatch(*paramsPath, file, params, flag.Args()[1:])
 	case "refresh":
-		runRefresh(*paramsPath, file, params)
+		err = runRefresh(*paramsPath, file, params)
 	case "status":
-		runStatus(params, flag.Args()[1:])
+		err = runStatus(params, flag.Args()[1:])
 	case "witnessaudit":
-		runWitnessAudit(params, flag.Args()[1:])
+		err = runWitnessAudit(params, flag.Args()[1:])
 	default:
 		log.Fatalf("dtclient: unknown subcommand %q", flag.Arg(0))
 	}
+	if err != nil {
+		// The deferred closes inside the run function have already
+		// released every connection by the time the error reaches here.
+		if errors.Is(err, errFindings) {
+			os.Exit(1)
+		}
+		log.Fatalf("dtclient: %v", err)
+	}
+}
+
+// dialRPC opens one plain client with the tool's trace context and
+// timeouts applied.
+func dialRPC(addr string) (*transport.Client, error) {
+	c, err := transport.DialTimeout(addr, callTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c.SetTrace(rootTrace)
+	c.SetTimeout(callTimeout)
+	return c, nil
+}
+
+// newAuditClient builds an audit client with the tool's trace context
+// and per-call deadline applied.
+func newAuditClient(params audit.Params) *audit.Client {
+	c := audit.NewClient(params)
+	c.SetTrace(rootTrace)
+	c.SetCallTimeout(callTimeout)
+	return c
 }
 
 // pendingPath is where an in-flight refresh ceremony is durably staged.
@@ -112,45 +158,45 @@ func pendingPath(paramsPath string) string { return paramsPath + ".refresh-pendi
 // the parameters file is atomically rewritten (same group key, rotated
 // share keys). An interrupted ceremony leaves the pending file; running
 // refresh again re-drives the same package to completion.
-func runRefresh(paramsPath string, file *deployfile.File, params audit.Params) {
+func runRefresh(paramsPath string, file *deployfile.File, params audit.Params) error {
 	tk, err := file.ThresholdKey()
 	if err != nil {
-		log.Fatalf("dtclient: %v", err)
+		return err
 	}
 	if tk == nil {
-		log.Fatal("dtclient: deployment file has no threshold key")
+		return errors.New("deployment file has no threshold key")
 	}
 	if len(tk.Commitment) != tk.T {
-		log.Fatal("dtclient: deployment file has no Feldman commitment (re-deploy with a current trustdomaind to enable refresh)")
+		return errors.New("deployment file has no Feldman commitment (re-deploy with a current trustdomaind to enable refresh)")
 	}
 
 	pending := pendingPath(paramsPath)
 	ref, err := deployfile.ReadRefresh(pending)
 	if err != nil {
-		log.Fatalf("dtclient: %v", err)
+		return err
 	}
 	switch {
 	case ref != nil && ref.NewEpoch <= tk.Epoch:
 		// A previous run committed the parameters file but died before
 		// removing the pending file.
 		if err := deployfile.RemoveRefresh(pending); err != nil {
-			log.Fatalf("dtclient: %v", err)
+			return err
 		}
 		ref = nil
 	case ref != nil && ref.NewEpoch != tk.Epoch+1:
-		log.Fatalf("dtclient: pending ceremony targets epoch %d but parameters are at epoch %d", ref.NewEpoch, tk.Epoch)
+		return fmt.Errorf("pending ceremony targets epoch %d but parameters are at epoch %d", ref.NewEpoch, tk.Epoch)
 	case ref != nil:
 		fmt.Printf("resuming interrupted refresh ceremony to epoch %d\n", ref.NewEpoch)
 	}
 	if ref == nil {
 		ref, err = bls.NewRefresh(tk)
 		if err != nil {
-			log.Fatalf("dtclient: %v", err)
+			return err
 		}
 		// Durable-intent first: if this process dies mid-ceremony, the
 		// exact package survives for the re-drive.
 		if err := deployfile.WriteRefresh(pending, ref); err != nil {
-			log.Fatalf("dtclient: %v", err)
+			return err
 		}
 	}
 
@@ -159,75 +205,75 @@ func runRefresh(paramsPath string, file *deployfile.File, params audit.Params) {
 	// deterministic, so a re-driven ceremony reproduces identical frames.
 	seed, err := deployfile.ReadRefreshKey(paramsPath + ".refresh-key")
 	if err != nil {
-		log.Fatalf("dtclient: %v\n(refresh frames must be signed by the developer key; run a current trustdomaind to export it)", err)
+		return fmt.Errorf("%w\n(refresh frames must be signed by the developer key; run a current trustdomaind to export it)", err)
 	}
 	signer, err := framework.NewDeveloperFromSeed(seed)
 	if err != nil {
-		log.Fatalf("dtclient: %v", err)
+		return err
 	}
 
 	inv := &rpcInvoker{params: params}
 	defer inv.close()
 	if err := blsapp.RunRefreshCeremony(inv, ref, signer); err != nil {
-		log.Fatalf("dtclient: %v\n(the ceremony is safe to re-run: dtclient refresh)", err)
+		return fmt.Errorf("%w\n(the ceremony is safe to re-run: dtclient refresh)", err)
 	}
 
 	// Probe the new epoch end to end before committing the parameters.
 	probe := []byte("dtclient refresh probe")
 	sig, err := blsapp.ThresholdSign(inv, ref.NewKey, probe)
 	if err != nil {
-		log.Fatalf("dtclient: post-refresh probe signature: %v", err)
+		return fmt.Errorf("post-refresh probe signature: %w", err)
 	}
 	if !bls.Verify(&ref.NewKey.GroupKey, probe, sig) {
-		log.Fatal("dtclient: post-refresh probe signature does not verify under the (unchanged) group key")
+		return errors.New("post-refresh probe signature does not verify under the (unchanged) group key")
 	}
 
 	file.Threshold = deployfile.ThresholdEntryFromKey(ref.NewKey)
 	if err := file.Write(paramsPath); err != nil {
-		log.Fatalf("dtclient: %v", err)
+		return err
 	}
 	if err := deployfile.RemoveRefresh(pending); err != nil {
-		log.Fatalf("dtclient: %v", err)
+		return err
 	}
 	fmt.Printf("shares refreshed: deployment now at epoch %d (was %d)\n", ref.NewEpoch, tk.Epoch)
 	fmt.Println("group public key unchanged; share keys rotated; parameters file updated")
+	return nil
 }
 
 // runWitnessAudit audits a monitor's log through the witness quorum: one
 // pollination round plus one batched pairing check, no log replay.
-func runWitnessAudit(params audit.Params, args []string) {
+func runWitnessAudit(params audit.Params, args []string) error {
 	fs := flag.NewFlagSet("witnessaudit", flag.ExitOnError)
 	monitorAddr := fs.String("monitor", "", "monitor address (the log source)")
 	witnesses := fs.String("witnesses", "", "comma-separated witness addresses")
 	quorum := fs.Int("quorum", 2, "required witness cosignatures")
 	if err := fs.Parse(args); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *monitorAddr == "" || *witnesses == "" {
-		log.Fatal("dtclient: witnessaudit needs -monitor and -witnesses")
+		return errors.New("witnessaudit needs -monitor and -witnesses")
 	}
 
 	// The head this client saw directly from the monitor.
-	mon, err := transport.Dial(*monitorAddr)
+	mon, err := dialRPC(*monitorAddr)
 	if err != nil {
-		log.Fatalf("dtclient: dialing monitor: %v", err)
+		return fmt.Errorf("dialing monitor: %w", err)
 	}
-	mon.SetTrace(rootTrace)
 	defer mon.Close()
 	var info struct {
 		Name   string `json:"name"`
 		BLSKey []byte `json:"bls_key"`
 	}
 	if err := mon.Call("info", struct{}{}, &info); err != nil {
-		log.Fatalf("dtclient: monitor identity: %v", err)
+		return fmt.Errorf("monitor identity: %w", err)
 	}
 	srcPK := new(bls.PublicKey)
 	if err := srcPK.SetBytes(info.BLSKey); err != nil {
-		log.Fatalf("dtclient: monitor BLS key: %v", err)
+		return fmt.Errorf("monitor BLS key: %w", err)
 	}
 	var head aolog.BLSSignedHead
 	if err := mon.Call("headbls", struct{}{}, &head); err != nil {
-		log.Fatalf("dtclient: monitor head: %v", err)
+		return fmt.Errorf("monitor head: %w", err)
 	}
 
 	// Pin the witness set (keys fetched over witness_info; a production
@@ -235,26 +281,24 @@ func runWitnessAudit(params audit.Params, args []string) {
 	ws := &audit.WitnessSet{Quorum: *quorum}
 	for _, addr := range strings.Split(*witnesses, ",") {
 		addr = strings.TrimSpace(addr)
-		wc, err := transport.Dial(addr)
+		wc, err := dialRPC(addr)
 		if err != nil {
-			log.Fatalf("dtclient: dialing witness %s: %v", addr, err)
+			return fmt.Errorf("dialing witness %s: %w", addr, err)
 		}
-		wc.SetTrace(rootTrace)
 		var wi gossip.WitnessInfo
 		err = wc.Call(gossip.KindWitnessInfo, struct{}{}, &wi)
 		wc.Close()
 		if err != nil {
-			log.Fatalf("dtclient: witness %s identity: %v", addr, err)
+			return fmt.Errorf("witness %s identity: %w", addr, err)
 		}
 		wpk := new(bls.PublicKey)
 		if err := wpk.SetBytes(wi.PublicKey); err != nil {
-			log.Fatalf("dtclient: witness %s key: %v", addr, err)
+			return fmt.Errorf("witness %s key: %w", addr, err)
 		}
 		ws.Witnesses = append(ws.Witnesses, audit.WitnessEndpoint{Name: wi.Name, Addr: addr, Key: wpk})
 	}
 
-	c := audit.NewClient(params)
-	c.SetTrace(rootTrace)
+	c := newAuditClient(params)
 	defer c.Close()
 	// SourcePK is the canonical identity: witnesses that configured a
 	// different local label for this monitor still resolve the head.
@@ -268,23 +312,23 @@ func runWitnessAudit(params audit.Params, args []string) {
 		}
 	}
 	if err != nil {
-		log.Fatalf("dtclient: witnessaudit: %v", err)
+		return fmt.Errorf("witnessaudit: %w", err)
 	}
 	fmt.Printf("accepted head: size=%d cosigned by %d/%d witnesses (quorum %d)\n",
 		res.Head.Cosigned.Head.Size, res.Head.Witnesses, len(ws.Witnesses), *quorum)
 	fmt.Println("witnessaudit: OK — one pollination round, one batched pairing check")
 	if len(res.Proofs) > 0 {
-		os.Exit(1)
+		return errFindings
 	}
+	return nil
 }
 
-func runAudit(params audit.Params) {
-	c := audit.NewClient(params)
-	c.SetTrace(rootTrace)
+func runAudit(params audit.Params) error {
+	c := newAuditClient(params)
 	defer c.Close()
 	report, err := c.Audit()
 	if err != nil {
-		log.Fatalf("dtclient: audit: %v", err)
+		return fmt.Errorf("audit: %w", err)
 	}
 	for _, d := range report.Domains {
 		st := d.Status.Resp.Status
@@ -296,7 +340,7 @@ func runAudit(params audit.Params) {
 	}
 	if report.Consistent {
 		fmt.Println("audit: CONSISTENT — all domains attest to the same code and history")
-		return
+		return nil
 	}
 	fmt.Println("audit: INCONSISTENT")
 	for _, f := range report.Findings {
@@ -310,70 +354,75 @@ func runAudit(params audit.Params) {
 		}
 		fmt.Printf("  proof[%d]: kind=%s domain=%s %s\n", i, p.Kind, p.Domain, status)
 	}
-	os.Exit(1)
+	return errFindings
 }
 
 // keyWithStaleReload reads the threshold key from file, runs sign with
 // it, and on a stale-epoch answer re-reads the parameters file ONCE (a
 // refresh coordinator rewrites it at every epoch commit) and retries.
-func keyWithStaleReload[T any](paramsPath string, file *deployfile.File, sign func(tk *bls.ThresholdKey) (T, error)) (T, *bls.ThresholdKey) {
+func keyWithStaleReload[T any](paramsPath string, file *deployfile.File, sign func(tk *bls.ThresholdKey) (T, error)) (T, *bls.ThresholdKey, error) {
+	var zero T
 	tk, err := file.ThresholdKey()
 	if err != nil {
-		log.Fatalf("dtclient: %v", err)
+		return zero, nil, err
 	}
 	if tk == nil {
-		log.Fatal("dtclient: deployment file has no threshold key")
+		return zero, nil, errors.New("deployment file has no threshold key")
 	}
 	out, err := sign(tk)
 	var stale *blsapp.StaleEpochError
 	if err != nil && errors.As(err, &stale) {
 		reread, rerr := deployfile.Read(paramsPath)
 		if rerr != nil {
-			log.Fatalf("dtclient: %v", rerr)
+			return zero, nil, rerr
 		}
 		tk2, rerr := reread.ThresholdKey()
 		if rerr != nil || tk2 == nil {
-			log.Fatalf("dtclient: re-reading threshold key: %v", rerr)
+			return zero, nil, fmt.Errorf("re-reading threshold key: %v", rerr)
 		}
 		if tk2.Epoch == tk.Epoch {
-			log.Fatalf("dtclient: sign: %v\n(the deployment was refreshed; fetch the current parameters file or run: dtclient refresh)", err)
+			return zero, nil, fmt.Errorf("sign: %w\n(the deployment was refreshed; fetch the current parameters file or run: dtclient refresh)", err)
 		}
 		fmt.Printf("deployment refreshed to epoch %d; retrying with rotated key\n", tk2.Epoch)
 		tk = tk2
 		out, err = sign(tk)
 	}
 	if err != nil {
-		log.Fatalf("dtclient: sign: %v", err)
+		return zero, nil, fmt.Errorf("sign: %w", err)
 	}
-	return out, tk
+	return out, tk, nil
 }
 
-func runSign(paramsPath string, file *deployfile.File, params audit.Params, args []string) {
+func runSign(paramsPath string, file *deployfile.File, params audit.Params, args []string) error {
 	fs := flag.NewFlagSet("sign", flag.ExitOnError)
 	msg := fs.String("msg", "", "message to threshold-sign")
 	if err := fs.Parse(args); err != nil {
-		log.Fatal(err)
+		return err
 	}
 	if *msg == "" {
-		log.Fatal("dtclient: sign needs -msg")
+		return errors.New("sign needs -msg")
 	}
 	inv := &rpcInvoker{params: params}
 	defer inv.close()
-	sig, tk := keyWithStaleReload(paramsPath, file, func(tk *bls.ThresholdKey) (*bls.Signature, error) {
+	sig, tk, err := keyWithStaleReload(paramsPath, file, func(tk *bls.ThresholdKey) (*bls.Signature, error) {
 		return blsapp.ThresholdSign(inv, tk, []byte(*msg))
 	})
+	if err != nil {
+		return err
+	}
 	if !bls.Verify(&tk.GroupKey, []byte(*msg), sig) {
-		log.Fatal("dtclient: combined signature failed verification")
+		return errors.New("combined signature failed verification")
 	}
 	sb := sig.Bytes()
 	fmt.Printf("message:   %q\n", *msg)
 	fmt.Printf("signature: %s\n", hex.EncodeToString(sb[:]))
 	fmt.Printf("verified under group key (threshold %d-of-%d, epoch %d)\n", tk.T, tk.N, tk.Epoch)
+	return nil
 }
 
-func runSignBatch(paramsPath string, file *deployfile.File, params audit.Params, msgs []string) {
+func runSignBatch(paramsPath string, file *deployfile.File, params audit.Params, msgs []string) error {
 	if len(msgs) == 0 {
-		log.Fatal("dtclient: signbatch needs at least one message argument")
+		return errors.New("signbatch needs at least one message argument")
 	}
 	batch := make([][]byte, len(msgs))
 	for i, m := range msgs {
@@ -381,15 +430,18 @@ func runSignBatch(paramsPath string, file *deployfile.File, params audit.Params,
 	}
 	inv := &rpcInvoker{params: params}
 	defer inv.close()
-	sigs, tk := keyWithStaleReload(paramsPath, file, func(tk *bls.ThresholdKey) ([]*bls.Signature, error) {
+	sigs, tk, err := keyWithStaleReload(paramsPath, file, func(tk *bls.ThresholdKey) ([]*bls.Signature, error) {
 		return blsapp.ThresholdSignBatch(inv, tk, batch)
 	})
+	if err != nil {
+		return err
+	}
 	pks := make([]*bls.PublicKey, len(sigs))
 	for i := range pks {
 		pks[i] = &tk.GroupKey
 	}
 	if !bls.VerifyBatch(pks, batch, sigs) {
-		log.Fatal("dtclient: combined signature batch failed verification")
+		return errors.New("combined signature batch failed verification")
 	}
 	for i, sig := range sigs {
 		sb := sig.Bytes()
@@ -397,16 +449,16 @@ func runSignBatch(paramsPath string, file *deployfile.File, params audit.Params,
 	}
 	fmt.Printf("%d signatures verified in one batched pairing check (threshold %d-of-%d)\n",
 		len(sigs), tk.T, tk.N)
+	return nil
 }
 
-func runStatus(params audit.Params, args []string) {
+func runStatus(params audit.Params, args []string) error {
 	fs := flag.NewFlagSet("status", flag.ExitOnError)
 	name := fs.String("domain", "", "domain name (default: all)")
 	if err := fs.Parse(args); err != nil {
-		log.Fatal(err)
+		return err
 	}
-	c := audit.NewClient(params)
-	c.SetTrace(rootTrace)
+	c := newAuditClient(params)
 	defer c.Close()
 	for _, d := range params.Domains {
 		if *name != "" && d.Name != *name {
@@ -425,6 +477,7 @@ func runStatus(params audit.Params, args []string) {
 		fmt.Printf("%-10s version=%d log=%d counter=%d pending=%s digest=%s...\n",
 			d.Name, st.Version, st.LogLen, st.Counter, pending, st.CurrentDigest[:12])
 	}
+	return nil
 }
 
 // rpcInvoker adapts the deployment's domain list to blsapp.Invoker.
@@ -441,11 +494,10 @@ func (r *rpcInvoker) conn(i int) (*transport.Client, error) {
 		r.conns = append(r.conns, nil)
 	}
 	if r.conns[i] == nil {
-		c, err := transport.Dial(r.params.Domains[i].Addr)
+		c, err := dialRPC(r.params.Domains[i].Addr)
 		if err != nil {
 			return nil, err
 		}
-		c.SetTrace(rootTrace)
 		r.conns[i] = c
 	}
 	return r.conns[i], nil

@@ -70,6 +70,7 @@ import (
 	"repro/internal/bls"
 	"repro/internal/bls12381"
 	"repro/internal/deployfile"
+	"repro/internal/fault"
 	"repro/internal/gossip"
 	"repro/internal/monitor"
 	"repro/internal/obsv"
@@ -93,6 +94,9 @@ func main() {
 		fsyncDeadline   = flag.Duration("fsync-deadline", 2*time.Second, "WAL-fsync stall watchdog deadline (0 disables)")
 		sloInterval     = flag.Duration("slo-interval", obsv.DefaultSLOInterval, "SLO burn-rate sampling interval")
 		debugFsyncStall = flag.Duration("debug-fsync-stall", 0, "inject a sleep before every WAL fsync (requires -debug-hooks)")
+		rpcTimeout      = flag.Duration("rpc-timeout", 10*time.Second, "per-call deadline on outbound RPCs this monitor issues (poll path); 0 disables")
+		faultSchedule   = flag.String("fault-schedule", "", "deterministic fault-injection schedule file (requires -debug-hooks)")
+		faultTarget     = flag.String("fault-target", "monitord", "target name this process matches in the fault schedule")
 	)
 	flag.Parse()
 
@@ -142,10 +146,34 @@ func main() {
 	} else if *debugFsyncStall > 0 {
 		fatal("-debug-fsync-stall requires -debug-hooks")
 	}
+	// Chaos plane: a seeded schedule makes faults deterministic, so a CI
+	// failure replays locally from the schedule file alone. The injector
+	// hooks every outbound dial, every accepted connection, and the WAL
+	// fsync path; each injection lands on /debug/flight tagged "injected".
+	var inj *fault.Injector
+	if *faultSchedule != "" {
+		if !*debugHooks {
+			fatal("-fault-schedule requires -debug-hooks")
+		}
+		sched, err := fault.LoadSchedule(*faultSchedule)
+		if err != nil {
+			fatal("loading fault schedule", "err", err)
+		}
+		inj = fault.Activate(sched, *faultTarget)
+		inj.SetFlightRecorder(fr)
+		transport.SetDialHook(inj.Dial)
+		transport.SetListenerWrap(inj.Listener)
+		logger.Info("chaos plane armed", "schedule", *faultSchedule,
+			"target", *faultTarget, "seed", sched.Seed, "rules", len(sched.Rules))
+	}
 	var mon *monitor.Monitor
 	if *dataDir != "" {
 		// Persistent monitor: stable tree-head identity, crash-safe log.
-		mon, err = monitor.Open(*dataDir, params, &monitor.OpenOptions{Shards: *shards, FsyncStall: stall})
+		openOpts := &monitor.OpenOptions{Shards: *shards, FsyncStall: stall}
+		if inj != nil {
+			openOpts.DiskFault = inj.DiskFault
+		}
+		mon, err = monitor.Open(*dataDir, params, openOpts)
 		if err != nil {
 			fatal("opening monitor store", "err", err, "data", *dataDir)
 		}
@@ -199,6 +227,7 @@ func main() {
 		}
 	}
 	auditClient := audit.NewClient(params)
+	auditClient.SetCallTimeout(*rpcTimeout)
 	defer auditClient.Close()
 
 	srv := transport.NewServer()

@@ -51,11 +51,13 @@ import (
 	"repro/internal/blsapp"
 	"repro/internal/core"
 	"repro/internal/deployfile"
+	"repro/internal/fault"
 	"repro/internal/framework"
 	"repro/internal/obsv"
 	"repro/internal/sandbox"
 	"repro/internal/store"
 	"repro/internal/tee"
+	"repro/internal/transport"
 )
 
 // logger is the daemon-wide structured logger (component=trustdomaind).
@@ -79,6 +81,10 @@ func main() {
 
 		ceremonyDeadline = flag.Duration("ceremony-deadline", time.Minute, "refresh-ceremony completion watchdog deadline (0 disables)")
 		sloInterval      = flag.Duration("slo-interval", obsv.DefaultSLOInterval, "SLO burn-rate sampling interval")
+
+		debugHooks    = flag.Bool("debug-hooks", false, "enable fault-injection flags — test deployments only")
+		faultSchedule = flag.String("fault-schedule", "", "deterministic fault-injection schedule file (requires -debug-hooks)")
+		faultTarget   = flag.String("fault-target", "trustdomaind", "target name this process matches in the fault schedule")
 	)
 	flag.Parse()
 	if !*demo {
@@ -112,6 +118,25 @@ func main() {
 	defer fr.DumpOnPanic(diagDir, "trustdomaind")
 	dogs := obsv.NewWatchdogSet("trustdomaind", diagDir, fr)
 	dogs.SetLogger(logger)
+
+	// Chaos plane (see cmd/monitord): the process-wide listener wrap
+	// covers every per-domain RPC server core.Deploy starts below, so a
+	// seeded schedule can reset or partition the domains' public surface.
+	if *faultSchedule != "" {
+		if !*debugHooks {
+			fatal("-fault-schedule requires -debug-hooks")
+		}
+		sched, err := fault.LoadSchedule(*faultSchedule)
+		if err != nil {
+			fatal("loading fault schedule", "err", err)
+		}
+		inj := fault.Activate(sched, *faultTarget)
+		inj.SetFlightRecorder(fr)
+		transport.SetDialHook(inj.Dial)
+		transport.SetListenerWrap(inj.Listener)
+		logger.Info("chaos plane armed", "schedule", *faultSchedule,
+			"target", *faultTarget, "seed", sched.Seed, "rules", len(sched.Rules))
+	}
 	var ceremonyDog *obsv.Watchdog
 	if *ceremonyDeadline > 0 {
 		ceremonyDog = dogs.Add("refresh-ceremony", *ceremonyDeadline)

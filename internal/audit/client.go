@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/aolog"
 	"repro/internal/domain"
@@ -192,12 +193,13 @@ type historyCache struct {
 type Client struct {
 	params Params
 
-	mu     sync.Mutex
-	trace  obsv.TraceContext
-	conns  map[string]*transport.Client
-	wconns map[string]*transport.Client // witness connections, by address
-	last   map[string]AttestedStatusEnvelope
-	hist   map[string]*historyCache
+	mu      sync.Mutex
+	trace   obsv.TraceContext
+	timeout time.Duration
+	conns   map[string]*transport.Client
+	wconns  map[string]*transport.Client // witness connections, by address
+	last    map[string]AttestedStatusEnvelope
+	hist    map[string]*historyCache
 }
 
 // NewClient creates an audit client for a deployment.
@@ -229,6 +231,21 @@ func (c *Client) SetTrace(tc obsv.TraceContext) {
 	}
 }
 
+// SetCallTimeout bounds every RPC this client issues with a per-call
+// deadline (0 restores context-only deadlines). Cached connections pick
+// it up too.
+func (c *Client) SetCallTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
+	for _, conn := range c.conns {
+		conn.SetTimeout(d)
+	}
+	for _, conn := range c.wconns {
+		conn.SetTimeout(d)
+	}
+}
+
 // Close closes all cached connections.
 func (c *Client) Close() {
 	c.mu.Lock()
@@ -254,8 +271,32 @@ func (c *Client) conn(info *DomainInfo) (*transport.Client, error) {
 		return nil, fmt.Errorf("audit: dialing domain %s: %w", info.Name, err)
 	}
 	conn.SetTrace(c.trace)
+	conn.SetTimeout(c.timeout)
 	c.conns[info.Name] = conn
 	return conn, nil
+}
+
+// dropConn evicts and closes a cached domain connection after a
+// transport-level failure. Without eviction a single reset poisons the
+// cache entry forever: every later audit of that domain reuses the dead
+// (possibly mid-frame) connection and fails, and the half-open socket
+// leaks until Close. Evicting lets the next call redial. The identity
+// check keeps a concurrent caller's fresh replacement alive.
+func (c *Client) dropConn(name string, conn *transport.Client) {
+	c.mu.Lock()
+	if c.conns[name] == conn {
+		delete(c.conns, name)
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// isTransportErr distinguishes connection-level failures (the conn is
+// broken or desynchronized and must be dropped) from server-answered
+// errors (the conn is healthy; the request failed).
+func isTransportErr(err error) bool {
+	var remote *transport.ErrRemote
+	return err != nil && !errors.As(err, &remote)
 }
 
 func newNonce() ([]byte, error) {
@@ -282,6 +323,9 @@ func (c *Client) FetchStatus(name string) (*AttestedStatusEnvelope, error) {
 	}
 	var resp domain.StatusResponse
 	if err := conn.Call("status", domain.StatusRequest{Nonce: nonce}, &resp); err != nil {
+		if isTransportErr(err) {
+			c.dropConn(name, conn)
+		}
 		return nil, fmt.Errorf("audit: status from %s: %w", name, err)
 	}
 	env := &AttestedStatusEnvelope{Nonce: nonce, Resp: resp}
@@ -315,6 +359,9 @@ func (c *Client) FetchHistoryFrom(name string, from int) (*AttestedHistoryEnvelo
 	}
 	var resp domain.HistoryResponse
 	if err := conn.Call("history", domain.HistoryRequest{Nonce: nonce, From: from}, &resp); err != nil {
+		if isTransportErr(err) {
+			c.dropConn(name, conn)
+		}
 		return nil, fmt.Errorf("audit: history from %s: %w", name, err)
 	}
 	env := &AttestedHistoryEnvelope{Nonce: nonce, Resp: resp}

@@ -1,0 +1,56 @@
+package audit
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/aolog"
+	"repro/internal/transport"
+)
+
+// DefaultHedgeDelay is the stagger between hedged replica attempts: long
+// enough that a healthy first replica answers alone (no duplicate load
+// in the common case), short enough that a stalled one costs tail
+// latency, not a timeout.
+const DefaultHedgeDelay = 250 * time.Millisecond
+
+// MonitorHeadHedged fetches the monitor's BLS-signed head from a set of
+// replica addresses serving the same log, hedging across them: the
+// first replica is tried immediately, each further replica starts after
+// another hedge delay (or immediately once an earlier attempt fails),
+// and the first verified head wins. Reads are idempotent, so a losing
+// attempt that also executed is harmless. delay <= 0 uses
+// DefaultHedgeDelay.
+//
+// Safety is unchanged from a single-replica read: the returned head
+// carries the monitor's BLS signature, and the caller verifies it (and
+// its witness quorum) exactly as before — hedging chooses which replica
+// ANSWERS, never what the client ACCEPTS. Each attempt dials fresh and
+// closes on exit: hedges are for availability edges, where a cached
+// connection is exactly what cannot be trusted.
+func MonitorHeadHedged(ctx context.Context, addrs []string, delay time.Duration) (aolog.BLSSignedHead, error) {
+	if len(addrs) == 0 {
+		return aolog.BLSSignedHead{}, errors.New("audit: no monitor replicas")
+	}
+	if delay <= 0 {
+		delay = DefaultHedgeDelay
+	}
+	attempts := make([]func(context.Context) (aolog.BLSSignedHead, error), len(addrs))
+	for i, addr := range addrs {
+		addr := addr
+		attempts[i] = func(ctx context.Context) (aolog.BLSSignedHead, error) {
+			var head aolog.BLSSignedHead
+			conn, err := transport.DialContext(ctx, addr)
+			if err != nil {
+				return head, err
+			}
+			defer conn.Close()
+			if err := conn.CallCtx(ctx, "headbls", struct{}{}, &head); err != nil {
+				return head, err
+			}
+			return head, nil
+		}
+	}
+	return transport.Hedge(ctx, delay, attempts)
+}

@@ -1,0 +1,84 @@
+package audit
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/aolog"
+	"repro/internal/transport"
+)
+
+func headServer(t *testing.T, size uint64) string {
+	t.Helper()
+	srv := transport.NewServer()
+	srv.Handle("headbls", func(json.RawMessage) (any, error) {
+		return aolog.BLSSignedHead{Size: size}, nil
+	})
+	addr, err := srv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return addr
+}
+
+// TestMonitorHeadHedged: with the first replica dead, the hedge falls
+// over to the second and still answers fast; with all replicas dead it
+// fails rather than hangs.
+func TestMonitorHeadHedged(t *testing.T) {
+	dead, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := dead.Addr().String()
+	dead.Close()
+
+	live := headServer(t, 42)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	head, err := MonitorHeadHedged(ctx, []string{deadAddr, live}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatalf("hedged read with one live replica: %v", err)
+	}
+	if head.Size != 42 {
+		t.Fatalf("head.Size = %d, want 42", head.Size)
+	}
+
+	shortCtx, cancel2 := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel2()
+	if _, err := MonitorHeadHedged(shortCtx, []string{deadAddr, deadAddr}, 20*time.Millisecond); err == nil {
+		t.Fatal("hedged read with all replicas dead returned nil")
+	}
+}
+
+// TestMonitorHeadHedgedPrefersFast: a healthy-but-slow first replica is
+// overtaken by the hedge once the stagger elapses.
+func TestMonitorHeadHedgedPrefersFast(t *testing.T) {
+	slowSrv := transport.NewServer()
+	slowSrv.Handle("headbls", func(json.RawMessage) (any, error) {
+		time.Sleep(2 * time.Second)
+		return aolog.BLSSignedHead{Size: 1}, nil
+	})
+	slow, err := slowSrv.ListenAndServe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer slowSrv.Close()
+	fast := headServer(t, 2)
+
+	start := time.Now()
+	head, err := MonitorHeadHedged(context.Background(), []string{slow, fast}, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.Size != 2 {
+		t.Fatalf("head.Size = %d, want the fast replica's 2", head.Size)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("hedged read took %v; the stagger never fired", d)
+	}
+}

@@ -48,8 +48,20 @@ func (c *Client) wconn(addr string) (*transport.Client, error) {
 		return nil, fmt.Errorf("audit: dialing witness %s: %w", addr, err)
 	}
 	conn.SetTrace(c.trace)
+	conn.SetTimeout(c.timeout)
 	c.wconns[addr] = conn
 	return conn, nil
+}
+
+// dropWconn evicts and closes a cached witness connection after a
+// transport failure, mirroring dropConn for domain connections.
+func (c *Client) dropWconn(addr string, conn *transport.Client) {
+	c.mu.Lock()
+	if c.wconns[addr] == conn {
+		delete(c.wconns, addr)
+	}
+	c.mu.Unlock()
+	conn.Close()
 }
 
 // Pollinate submits the heads this client has seen to every configured
@@ -73,6 +85,9 @@ func (c *Client) Pollinate(ws *WitnessSet, seen []gossip.GossipHead) ([]*gossip.
 		}
 		var resp gossip.HeadsResponse
 		if err := conn.Call(gossip.KindPollinate, msg, &resp); err != nil {
+			if isTransportErr(err) {
+				c.dropWconn(ws.Witnesses[i].Addr, conn)
+			}
 			if firstErr == nil {
 				firstErr = fmt.Errorf("audit: pollinating %s: %w", ws.Witnesses[i].Name, err)
 			}

@@ -1,0 +1,34 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParseSchedule asserts the two parser invariants: no input panics,
+// and any input that parses successfully survives a Format/re-parse
+// round trip unchanged.
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("seed 42\nfault partition target=witness-b dir=out from=1s until=4s\n")
+	f.Add("fault drop target=client dir=out skip=1\nfault delay p=0.25 delay=50ms\n")
+	f.Add("# comment\nseed 1\nfault disk-stall every=3 delay=500ms count=2\nfault disk-error target=monitor\n")
+	f.Add("seed 18446744073709551615\nfault reset p=0.999 target=*\n")
+	f.Add("fault delay delay=1ns\nfault drop until=1h from=59m59s\n")
+	f.Fuzz(func(t *testing.T, text string) {
+		s, err := ParseSchedule(text)
+		if err != nil {
+			return
+		}
+		formatted := s.Format()
+		s2, err := ParseSchedule(formatted)
+		if err != nil {
+			t.Fatalf("Format output failed to re-parse: %v\ninput: %q\nformatted: %q", err, text, formatted)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("round trip changed the schedule:\n  first:  %+v\n  second: %+v\ninput: %q", s, s2, text)
+		}
+		if s2.Format() != formatted {
+			t.Fatalf("Format is not a fixed point:\n  first:  %q\n  second: %q", formatted, s2.Format())
+		}
+	})
+}

@@ -1,0 +1,143 @@
+package fault
+
+import (
+	"errors"
+	"net"
+	"time"
+)
+
+// ErrInjected is the sentinel wrapped by every injected network error,
+// so tests (and curious operators) can tell a drill from a real outage
+// with errors.Is.
+var ErrInjected = errors.New("fault: injected")
+
+// injectedErr tags a specific injected network failure.
+type injectedErr struct{ site string }
+
+func (e *injectedErr) Error() string   { return "fault: injected " + e.site }
+func (e *injectedErr) Unwrap() error   { return ErrInjected }
+func (e *injectedErr) Timeout() bool   { return false }
+func (e *injectedErr) Temporary() bool { return true }
+
+// Dial dials addr through the injector's outbound fault path: an active
+// drop or partition rule fails the dial, a delay rule sleeps first, and
+// established connections are wrapped so later rules apply to their
+// I/O. A nil injector behaves exactly like the underlying dial.
+func (in *Injector) Dial(addr string, timeout time.Duration) (net.Conn, error) {
+	if in != nil {
+		if rs := in.match(opConnNew, DirOut); rs != nil {
+			switch rs.rule.Kind {
+			case KindDelay:
+				in.record(rs, "delay out dial")
+				time.Sleep(rs.rule.Delay)
+			default: // drop, partition: the dial fails
+				in.record(rs, string(rs.rule.Kind)+" out dial")
+				return nil, &net.OpError{Op: "dial", Net: "tcp", Err: &injectedErr{site: string(rs.rule.Kind) + " dial"}}
+			}
+		}
+	}
+	c, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, err
+	}
+	return in.Conn(c, DirOut), nil
+}
+
+// Listener wraps ln so accepted connections pass through the injector's
+// inbound fault path. A nil injector returns ln unchanged.
+func (in *Injector) Listener(ln net.Listener) net.Listener {
+	if in == nil {
+		return ln
+	}
+	return &faultListener{Listener: ln, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		c, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		if rs := l.in.match(opConnNew, DirIn); rs != nil {
+			switch rs.rule.Kind {
+			case KindDelay:
+				l.in.record(rs, "delay in accept")
+				time.Sleep(rs.rule.Delay)
+			default:
+				// Drop/partition at accept: close immediately. From the
+				// dialer's side the connection resets on first use, which
+				// is what a firewalled listener looks like.
+				l.in.record(rs, string(rs.rule.Kind)+" in accept")
+				_ = c.Close()
+				continue
+			}
+		}
+		return l.in.Conn(c, DirIn), nil
+	}
+}
+
+// Conn wraps an established connection with the injector's I/O fault
+// path. side records which direction this process initiated (used only
+// for flight-event detail); read faults always match DirIn, write
+// faults DirOut. A nil injector returns c unchanged.
+func (in *Injector) Conn(c net.Conn, side Dir) net.Conn {
+	if in == nil {
+		return c
+	}
+	return &faultConn{Conn: c, in: in, side: side}
+}
+
+type faultConn struct {
+	net.Conn
+	in   *Injector
+	side Dir
+}
+
+// apply runs the I/O fault path for one read/write. It returns a
+// non-nil error when the operation must fail instead of proceeding.
+func (fc *faultConn) apply(dir Dir, site string) error {
+	rs := fc.in.match(opConnIO, dir)
+	if rs == nil {
+		return nil
+	}
+	switch rs.rule.Kind {
+	case KindDelay:
+		fc.in.record(rs, "delay "+string(dir)+" "+site)
+		time.Sleep(rs.rule.Delay)
+		return nil
+	case KindReset:
+		fc.in.record(rs, "reset "+string(dir)+" "+site)
+		_ = fc.Conn.Close()
+		return &net.OpError{Op: site, Net: "tcp", Err: &injectedErr{site: "reset " + site}}
+	case KindPartition:
+		fc.in.record(rs, "partition "+string(dir)+" "+site)
+		if fc.in.healWait(rs) {
+			// The window passed: the link healed, the op proceeds.
+			return nil
+		}
+		// Open-ended partition: degrade to reset so I/O cannot hang
+		// forever on a schedule with no heal time.
+		_ = fc.Conn.Close()
+		return &net.OpError{Op: site, Net: "tcp", Err: &injectedErr{site: "partition " + site}}
+	}
+	return nil
+}
+
+func (fc *faultConn) Read(p []byte) (int, error) {
+	if err := fc.apply(DirIn, "read"); err != nil {
+		return 0, err
+	}
+	return fc.Conn.Read(p)
+}
+
+func (fc *faultConn) Write(p []byte) (int, error) {
+	if err := fc.apply(DirOut, "write"); err != nil {
+		return 0, err
+	}
+	return fc.Conn.Write(p)
+}

@@ -1,0 +1,210 @@
+package fault
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The schedule text format, line-oriented:
+//
+//	# comment
+//	seed 42
+//	fault partition target=witness-b dir=out from=1s until=4s
+//	fault drop target=client dir=out skip=1
+//	fault delay target=* p=0.25 delay=50ms
+//	fault disk-stall target=monitor every=3 delay=500ms count=2
+//
+// One optional "seed" line (default 1), then "fault <kind> key=value..."
+// lines. Unknown keys and kinds are errors: a typo'd schedule that
+// silently injects nothing is worse than no schedule.
+
+// ParseSchedule parses the schedule text format.
+func ParseSchedule(text string) (*Schedule, error) {
+	sched := &Schedule{Seed: 1}
+	seenSeed := false
+	for lineNo, raw := range strings.Split(text, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "seed":
+			if seenSeed {
+				return nil, fmt.Errorf("fault: line %d: duplicate seed", lineNo+1)
+			}
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("fault: line %d: usage: seed <uint64>", lineNo+1)
+			}
+			v, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: bad seed: %v", lineNo+1, err)
+			}
+			sched.Seed = v
+			seenSeed = true
+		case "fault":
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("fault: line %d: usage: fault <kind> [key=value...]", lineNo+1)
+			}
+			r, err := parseRule(fields[1], fields[2:])
+			if err != nil {
+				return nil, fmt.Errorf("fault: line %d: %v", lineNo+1, err)
+			}
+			sched.Rules = append(sched.Rules, r)
+		default:
+			return nil, fmt.Errorf("fault: line %d: unknown directive %q", lineNo+1, fields[0])
+		}
+	}
+	return sched, nil
+}
+
+// LoadSchedule reads and parses a schedule file.
+func LoadSchedule(path string) (*Schedule, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseSchedule(string(b))
+}
+
+func parseRule(kind string, kvs []string) (Rule, error) {
+	r := Rule{Kind: Kind(kind)}
+	switch r.Kind {
+	case KindDrop, KindReset, KindDelay, KindPartition, KindDiskStall, KindDiskError:
+	default:
+		return r, fmt.Errorf("unknown fault kind %q", kind)
+	}
+	for _, kv := range kvs {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok || v == "" {
+			return r, fmt.Errorf("bad option %q (want key=value)", kv)
+		}
+		var err error
+		switch k {
+		case "target":
+			r.Target = v
+		case "dir":
+			switch Dir(v) {
+			case DirIn, DirOut, DirBoth:
+				r.Dir = Dir(v)
+			default:
+				err = fmt.Errorf("bad dir %q (want in|out|both)", v)
+			}
+		case "from":
+			r.From, err = parseDur(v)
+		case "until":
+			r.Until, err = parseDur(v)
+		case "p":
+			r.Probability, err = strconv.ParseFloat(v, 64)
+			if err == nil && (math.IsNaN(r.Probability) || r.Probability < 0 || r.Probability > 1) {
+				err = fmt.Errorf("p=%v out of range [0,1]", r.Probability)
+			}
+		case "every":
+			r.Every, err = parseCount(v)
+		case "skip":
+			r.Skip, err = parseCount(v)
+		case "count":
+			r.Count, err = parseCount(v)
+		case "delay":
+			r.Delay, err = parseDur(v)
+		default:
+			err = fmt.Errorf("unknown option %q", k)
+		}
+		if err != nil {
+			return r, err
+		}
+	}
+	if r.Until != 0 && r.Until <= r.From {
+		return r, fmt.Errorf("until=%v must exceed from=%v", r.Until, r.From)
+	}
+	if (r.Kind == KindDelay || r.Kind == KindDiskStall) && r.Delay <= 0 {
+		return r, fmt.Errorf("%s requires delay=<duration>", r.Kind)
+	}
+	return r, nil
+}
+
+func parseDur(v string) (time.Duration, error) {
+	d, err := time.ParseDuration(v)
+	if err != nil {
+		return 0, err
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("negative duration %v", d)
+	}
+	return d, nil
+}
+
+func parseCount(v string) (int, error) {
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, err
+	}
+	if n < 0 {
+		return 0, fmt.Errorf("negative count %d", n)
+	}
+	return n, nil
+}
+
+// Format renders the schedule in the text format such that
+// ParseSchedule(Format(s)) reproduces s exactly (the fuzz target's
+// round-trip property).
+func (s *Schedule) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "seed %d\n", s.Seed)
+	for i := range s.Rules {
+		r := &s.Rules[i]
+		b.WriteString("fault ")
+		b.WriteString(string(r.Kind))
+		// Deterministic key order; zero values are the defaults and
+		// round-trip by omission.
+		opts := map[string]string{}
+		if r.Target != "" {
+			opts["target"] = r.Target
+		}
+		if r.Dir != "" {
+			opts["dir"] = string(r.Dir)
+		}
+		if r.From != 0 {
+			opts["from"] = r.From.String()
+		}
+		if r.Until != 0 {
+			opts["until"] = r.Until.String()
+		}
+		if r.Probability != 0 {
+			opts["p"] = strconv.FormatFloat(r.Probability, 'g', -1, 64)
+		}
+		if r.Every != 0 {
+			opts["every"] = strconv.Itoa(r.Every)
+		}
+		if r.Skip != 0 {
+			opts["skip"] = strconv.Itoa(r.Skip)
+		}
+		if r.Count != 0 {
+			opts["count"] = strconv.Itoa(r.Count)
+		}
+		if r.Delay != 0 {
+			opts["delay"] = r.Delay.String()
+		}
+		keys := make([]string, 0, len(opts))
+		for k := range opts {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			b.WriteString(" ")
+			b.WriteString(k)
+			b.WriteString("=")
+			b.WriteString(opts[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

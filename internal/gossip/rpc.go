@@ -134,12 +134,24 @@ func (w *Witness) Register(srv *transport.Server) {
 	})
 }
 
-// Peer is the client side of another witness's RPC surface.
-type Peer struct {
-	c *transport.Client
+// Caller is the minimal client surface a Peer needs: one blocking RPC
+// plus Close. Both *transport.Client (a single fragile connection) and
+// *transport.ManagedClient (self-healing: reconnect, retry/backoff,
+// circuit breaker) satisfy it, so a deployment chooses its resilience
+// per peer without touching the gossip layer. Every Peer RPC kind is
+// idempotent (gossip merges are monotone), so the managed client's
+// retry policy is safe here by construction.
+type Caller interface {
+	Call(kind string, args, reply any) error
+	Close() error
 }
 
-// DialPeer connects to a witness at addr.
+// Peer is the client side of another witness's RPC surface.
+type Peer struct {
+	c Caller
+}
+
+// DialPeer connects to a witness at addr over a single plain connection.
 func DialPeer(addr string) (*Peer, error) {
 	c, err := transport.Dial(addr)
 	if err != nil {
@@ -148,8 +160,8 @@ func DialPeer(addr string) (*Peer, error) {
 	return &Peer{c: c}, nil
 }
 
-// NewPeer wraps an existing transport client.
-func NewPeer(c *transport.Client) *Peer { return &Peer{c: c} }
+// NewPeer wraps an existing client (plain or managed).
+func NewPeer(c Caller) *Peer { return &Peer{c: c} }
 
 // Close closes the connection.
 func (p *Peer) Close() error { return p.c.Close() }

@@ -35,6 +35,12 @@ type OpenOptions struct {
 	// e2e fault hook (daemons gate it behind -debug-hooks). Zero in any
 	// real deployment.
 	FsyncStall time.Duration
+	// DiskFault is the chaos-plane disk hook, consulted before every WAL
+	// fsync (op "wal-fsync"); an error it returns poisons the WAL exactly
+	// like a real fsync failure. fault.Injector.DiskFault matches this
+	// signature. Nil in any real deployment (daemons gate it behind
+	// -debug-hooks).
+	DiskFault func(op string) error
 }
 
 // monitorState is the derived state a snapshot captures at a log size.
@@ -66,7 +72,7 @@ func Open(dir string, params audit.Params, opts *OpenOptions) (*Monitor, error) 
 	if o.SnapshotEvery == 0 {
 		o.SnapshotEvery = 8192
 	}
-	st, err := store.Open(dir, store.Options{Shards: o.Shards, NoSync: o.NoSync, FsyncStall: o.FsyncStall})
+	st, err := store.Open(dir, store.Options{Shards: o.Shards, NoSync: o.NoSync, FsyncStall: o.FsyncStall, DiskFault: o.DiskFault})
 	if err != nil {
 		return nil, fmt.Errorf("monitor: opening store: %w", err)
 	}

@@ -35,6 +35,7 @@ type Subscriber struct {
 	nextID   uint64
 	pending  map[uint64]chan *transport.Response
 	lastSize map[string]uint64   // per-source monotonicity guard
+	floor    map[string]uint64   // resume floors (SetResumeFloors)
 	heads    []gossip.GossipHead // latest accepted head per source
 	byKey    map[string]int      // source key -> index in heads
 	stats    SubStats
@@ -48,6 +49,7 @@ type SubStats struct {
 	Received   uint64 // heads accepted
 	Dropped    uint64 // heads rejected by VerifyHead
 	OutOfOrder uint64 // heads dropped by the monotonicity guard
+	Duplicate  uint64 // heads at or below a resume floor (reconnect replay)
 	BadFrames  uint64 // undecodable or malformed frames/sub-requests
 }
 
@@ -65,9 +67,10 @@ func NewSubscriber(conn net.Conn) *Subscriber {
 	return s
 }
 
-// Dial connects to addr and returns a running subscriber.
+// Dial connects to addr (bounded by transport.DefaultDialTimeout) and
+// returns a running subscriber.
 func Dial(addr string) (*Subscriber, error) {
-	conn, err := net.Dial("tcp", addr)
+	conn, err := net.DialTimeout("tcp", addr, transport.DefaultDialTimeout)
 	if err != nil {
 		return nil, err
 	}
@@ -104,6 +107,42 @@ func (s *Subscriber) Stats() SubStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.stats
+}
+
+// SetResumeFloors seeds the duplicate guard for a resumed subscription:
+// a head whose size is at or below its source's floor has already been
+// delivered on a previous connection and is dropped silently (counted
+// in Duplicate, not OutOfOrder — replay at the resume boundary is
+// expected, regression is not). Call before Subscribe; the map is
+// copied. Combined with the monotonicity guard this is the reconnect
+// safety argument: a resumed subscriber can neither re-deliver a head
+// it already delivered (floor) nor accept one older than it has seen
+// (lastSize), so heads observed across any number of reconnects form a
+// single non-repeating, non-decreasing sequence per source.
+func (s *Subscriber) SetResumeFloors(floors map[string]uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.floor = make(map[string]uint64, len(floors))
+	for k, v := range floors {
+		s.floor[k] = v
+		// The floor also primes the monotonicity guard, so a pushed head
+		// below the floor counts as a duplicate, never as progress.
+		if v > s.lastSize[k] {
+			s.lastSize[k] = v
+		}
+	}
+}
+
+// LastSizes snapshots the highest accepted size per source — the floors
+// to resume from after this connection dies.
+func (s *Subscriber) LastSizes() map[string]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]uint64, len(s.lastSize))
+	for k, v := range s.lastSize {
+		out[k] = v
+	}
+	return out
 }
 
 // Heads returns the latest accepted head per source.
@@ -302,6 +341,13 @@ func (s *Subscriber) ingest(from string, heads []gossip.GossipHead, pushed bool)
 		}
 		key := sourceKey(gh)
 		s.mu.Lock()
+		if fl, ok := s.floor[key]; ok && gh.Head.Size <= fl {
+			// Already delivered before the reconnect; suppress so a
+			// resumed subscription never double-delivers a head.
+			s.stats.Duplicate++
+			s.mu.Unlock()
+			continue
+		}
 		if gh.Head.Size < s.lastSize[key] {
 			if pushed {
 				s.stats.OutOfOrder++

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"encoding/hex"
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/transport"
+)
+
+// trackingDialer dials through a MemListener and remembers the most
+// recent connection so the test can kill it to force a reconnect.
+type trackingDialer struct {
+	ln *transport.MemListener
+
+	mu    sync.Mutex
+	cur   net.Conn
+	dials int
+}
+
+func (d *trackingDialer) dial() (net.Conn, error) {
+	c, err := d.ln.Dial()
+	if err != nil {
+		return nil, err
+	}
+	d.mu.Lock()
+	d.cur = c
+	d.dials++
+	d.mu.Unlock()
+	return c, nil
+}
+
+func (d *trackingDialer) killCurrent() {
+	d.mu.Lock()
+	c := d.cur
+	d.mu.Unlock()
+	if c != nil {
+		c.Close()
+	}
+}
+
+// TestAutoSubscriberReconnectMonotonic is the reconnect safety test the
+// issue asks for: across repeated forced reconnects, the delivered head
+// sizes for the source form one strictly increasing sequence — the
+// subscription-ack re-priming after each reconnect never re-delivers
+// the head the previous connection already delivered (no duplicates),
+// and no delivered head ever regresses (per-source monotonicity).
+func TestAutoSubscriberReconnectMonotonic(t *testing.T) {
+	f := newFixture(t)
+	f.append(t, 2)
+	tier := f.attach(t, Options{})
+
+	srv := transport.NewServer()
+	tier.Register(srv)
+	ln := transport.NewMemListener()
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	var (
+		mu        sync.Mutex
+		delivered []uint64
+	)
+	newHead := make(chan uint64, 64)
+	dialer := &trackingDialer{ln: ln}
+	sub, err := NewAutoSubscriber(AutoOptions{
+		From: "reconnect-test",
+		Dial: dialer.dial,
+		OnHeads: func(_ string, heads []gossip.GossipHead) {
+			mu.Lock()
+			for i := range heads {
+				delivered = append(delivered, heads[i].Head.Size)
+			}
+			mu.Unlock()
+			for i := range heads {
+				newHead <- heads[i].Head.Size
+			}
+		},
+		BaseDelay: time.Millisecond,
+		MaxDelay:  10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	waitSize := func(want uint64) {
+		t.Helper()
+		deadline := time.After(10 * time.Second)
+		for {
+			select {
+			case got := <-newHead:
+				if got >= want {
+					if got != want {
+						t.Fatalf("delivered size %d, want %d", got, want)
+					}
+					return
+				}
+			case <-deadline:
+				t.Fatalf("no head of size %d delivered", want)
+			}
+		}
+	}
+
+	// Initial subscription primes the current head (size 2).
+	waitSize(2)
+
+	size := uint64(2)
+	const cycles = 3
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Grow the log on a live connection; the push must arrive.
+		f.append(t, 1)
+		size++
+		waitSize(size)
+
+		// Kill the connection. The auto subscriber must redial,
+		// re-subscribe, and suppress the ack's replay of the current
+		// head (it was already delivered above).
+		dialer.killCurrent()
+		waitReconnects(t, sub, uint64(cycle+1))
+
+		// Liveness after heal: the resumed subscription still receives
+		// new pushes.
+		f.append(t, 1)
+		size++
+		waitSize(size)
+	}
+
+	mu.Lock()
+	got := append([]uint64(nil), delivered...)
+	mu.Unlock()
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("delivered sizes %v: position %d (%d) does not exceed its predecessor (%d) — duplicate or regressed head across reconnect", got, i, got[i], got[i-1])
+		}
+	}
+	if len(got) != int(size)-1 {
+		t.Fatalf("delivered %d heads (%v), want %d (sizes 2..%d)", len(got), got, size-1, size)
+	}
+
+	dialer.mu.Lock()
+	dials := dialer.dials
+	dialer.mu.Unlock()
+	if dials != cycles+1 {
+		t.Fatalf("dials = %d, want %d", dials, cycles+1)
+	}
+
+	// Floors carried the progress across every reconnect.
+	floors := sub.Floors()
+	var max uint64
+	for _, v := range floors {
+		if v > max {
+			max = v
+		}
+	}
+	if max != size-1 && max != size {
+		// The final connection's progress folds into floors only on its
+		// death; accept either the last pre-reconnect size or, if a
+		// stats race folded later, the final size.
+		t.Fatalf("resume floors %v, want max %d or %d", floors, size-1, size)
+	}
+}
+
+func waitReconnects(t *testing.T, sub *AutoSubscriber, want uint64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for sub.Reconnects() < want {
+		if time.Now().After(deadline) {
+			t.Fatalf("reconnects stuck at %d, want %d", sub.Reconnects(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestAutoSubscriberCallWhileDisconnected: calls fail fast (no hang)
+// between connections, and Close is clean while disconnected.
+func TestAutoSubscriberCallWhileDisconnected(t *testing.T) {
+	sub, err := NewAutoSubscriber(AutoOptions{
+		From:      "t",
+		Dial:      func() (net.Conn, error) { return nil, errors.New("endpoint down") },
+		BaseDelay: time.Millisecond,
+		MaxDelay:  5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Call("head", struct{}{}, nil); err == nil {
+		t.Fatal("Call while disconnected returned nil")
+	}
+	if err := sub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Call("head", struct{}{}, nil); err == nil {
+		t.Fatal("Call after Close returned nil")
+	}
+}
+
+// TestSubscriberResumeFloorPrimesGuard: a floor also primes the
+// monotonicity guard, so a pushed head below the floor is a duplicate,
+// not progress.
+func TestSubscriberResumeFloorPrimesGuard(t *testing.T) {
+	f := newFixture(t)
+	f.append(t, 3)
+	tier := f.attach(t, Options{})
+	srv := transport.NewServer()
+	tier.Register(srv)
+	ln := transport.NewMemListener()
+	defer ln.Close()
+	go srv.Serve(ln)
+
+	conn, err := ln.Dial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSubscriber(conn)
+	defer s.Close()
+	pkb := f.mon.BLSPublicKey().Bytes()
+	s.SetResumeFloors(map[string]uint64{hex.EncodeToString(pkb[:]): 3})
+	if err := s.Subscribe("floor-test"); err != nil {
+		t.Fatal(err)
+	}
+	// The ack primed size 3, which the floor suppresses.
+	if heads := s.Heads(); len(heads) != 0 {
+		t.Fatalf("primed heads %v leaked through the resume floor", heads)
+	}
+	st := s.Stats()
+	if st.Duplicate != 1 || st.Received != 0 {
+		t.Fatalf("stats = %+v, want Duplicate=1 Received=0", st)
+	}
+}

@@ -35,6 +35,10 @@ type storeObs struct {
 	// fsyncStall injects a sleep (nanoseconds) before each WAL fsync —
 	// the e2e stall-injection test hook (Options.FsyncStall).
 	fsyncStall atomic.Int64
+	// diskFault is the chaos-plane hook (Options.DiskFault), consulted
+	// before each WAL fsync. Set once in Open before any concurrency, so
+	// a plain field is safe.
+	diskFault func(op string) error
 }
 
 func newStoreObs() *storeObs {

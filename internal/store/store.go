@@ -45,6 +45,13 @@ type Options struct {
 	// stalled disk reproducible so watchdog trips and SLO burns can be
 	// asserted end to end.
 	FsyncStall time.Duration
+	// DiskFault, when set, is consulted before every WAL fsync with the
+	// operation name ("wal-fsync"). A returned error is treated exactly
+	// like a real fsync failure — sticky WAL poison, fail-stop — and a
+	// hook that sleeps models a seized disk under the watchdog. This is
+	// the chaos plane's disk entry point (fault.Injector.DiskFault
+	// matches this signature); daemons gate it behind -debug-hooks.
+	DiskFault func(op string) error
 }
 
 func (o *Options) withDefaults() Options {
@@ -139,6 +146,7 @@ func Open(dir string, opts Options) (*Store, error) {
 	if o.FsyncStall > 0 {
 		s.obs.fsyncStall.Store(int64(o.FsyncStall))
 	}
+	s.obs.diskFault = o.DiskFault
 
 	// 1. Settled leaves from segment files, placed by global index.
 	var leaves [][]byte

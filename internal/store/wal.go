@@ -90,7 +90,17 @@ func (w *wal) syncTo(end int64) error {
 		if stall := time.Duration(w.obs.fsyncStall.Load()); stall > 0 {
 			time.Sleep(stall)
 		}
-		err := w.f.Sync()
+		var err error
+		// The chaos-plane disk hook runs inside the Arm/Done bracket so a
+		// stalling hook trips the watchdog like a real seized disk, and an
+		// injected error takes the exact sticky-poison path a real fsync
+		// failure would.
+		if w.obs.diskFault != nil {
+			err = w.obs.diskFault("wal-fsync")
+		}
+		if err == nil {
+			err = w.f.Sync()
+		}
 		dog.Done()
 		w.obs.fsyncs.Inc()
 		observeDur(w.obs.fsyncLatency, syncStart)

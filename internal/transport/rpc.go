@@ -147,9 +147,31 @@ func (s *Server) isNoBatch(kind string) bool {
 	return s.noBatch[kind]
 }
 
+// ListenerWrap intercepts every listener handed to Serve. Installed
+// process-wide by SetListenerWrap.
+type ListenerWrap func(net.Listener) net.Listener
+
+var listenerWrap atomic.Pointer[ListenerWrap]
+
+// SetListenerWrap installs a process-wide inbound listener interceptor
+// — the chaos plane's entry point for injecting accept- and read-side
+// faults (daemons install it only under -debug-hooks; it pairs with
+// SetDialHook for the outbound direction). nil restores plain serving.
+// Affects listeners passed to Serve after the call.
+func SetListenerWrap(w ListenerWrap) {
+	if w == nil {
+		listenerWrap.Store(nil)
+		return
+	}
+	listenerWrap.Store(&w)
+}
+
 // Serve starts accepting connections on ln until Close. It returns
 // immediately; connection goroutines run in the background.
 func (s *Server) Serve(ln net.Listener) {
+	if w := listenerWrap.Load(); w != nil {
+		ln = (*w)(ln)
+	}
 	s.mu.Lock()
 	s.ln = ln
 	s.mu.Unlock()
@@ -206,6 +228,15 @@ func (s *Server) Close() error {
 	}
 	s.wg.Wait()
 	return err
+}
+
+// ActiveConns reports the number of currently-open client connections.
+// Leak-check tests compare it before and after a client workload: a
+// client that closes its transport.Clients leaves it at zero.
+func (s *Server) ActiveConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
 }
 
 func (s *Server) serveConn(conn net.Conn) {
@@ -343,20 +374,77 @@ func (s *Server) route(ctx context.Context, req *Request, p *Pusher) *Response {
 // Client is a synchronous RPC client over a single connection.
 // Safe for concurrent use; calls are serialized on the connection.
 type Client struct {
-	mu     sync.Mutex
-	conn   net.Conn
-	nextID uint64
-	trace  obsv.TraceContext // connection-level trace (SetTrace)
-	tracer *obsv.Tracer      // client-side spans (SetTracer)
+	mu      sync.Mutex
+	conn    net.Conn
+	nextID  uint64
+	trace   obsv.TraceContext // connection-level trace (SetTrace)
+	tracer  *obsv.Tracer      // client-side spans (SetTracer)
+	timeout time.Duration     // default per-call deadline (SetTimeout)
 }
 
-// Dial connects to a server address.
+// DefaultDialTimeout bounds connection establishment for Dial. A dial
+// that cannot complete a TCP handshake in this long is talking to a
+// black hole; blocking the caller indefinitely (the kernel default is
+// minutes) turns one dead peer into a stuck daemon.
+const DefaultDialTimeout = 10 * time.Second
+
+// DialHook intercepts outbound dials. addr is the target; timeout is the
+// connect budget. Installed process-wide by SetDialHook.
+type DialHook func(addr string, timeout time.Duration) (net.Conn, error)
+
+var dialHook atomic.Pointer[DialHook]
+
+// SetDialHook installs a process-wide outbound dial interceptor — the
+// chaos plane's entry point for injecting dial-time faults and wrapping
+// connections (daemons install it only under -debug-hooks). nil
+// restores the default dialer. Affects Dial/DialTimeout/DialContext,
+// not NewClient.
+func SetDialHook(h DialHook) {
+	if h == nil {
+		dialHook.Store(nil)
+		return
+	}
+	dialHook.Store(&h)
+}
+
+func dialConn(addr string, timeout time.Duration) (net.Conn, error) {
+	if h := dialHook.Load(); h != nil {
+		return (*h)(addr, timeout)
+	}
+	return net.DialTimeout("tcp", addr, timeout)
+}
+
+// Dial connects to a server address, bounded by DefaultDialTimeout.
 func Dial(addr string) (*Client, error) {
-	conn, err := net.Dial("tcp", addr)
+	return DialTimeout(addr, DefaultDialTimeout)
+}
+
+// DialTimeout connects to a server address with an explicit connect
+// timeout (0 means DefaultDialTimeout).
+func DialTimeout(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
+	}
+	conn, err := dialConn(addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
 	}
 	return &Client{conn: conn}, nil
+}
+
+// DialContext connects to a server address, bounded by the earlier of
+// ctx's deadline and DefaultDialTimeout.
+func DialContext(ctx context.Context, addr string) (*Client, error) {
+	timeout := DefaultDialTimeout
+	if dl, ok := ctx.Deadline(); ok {
+		if rem := time.Until(dl); rem < timeout {
+			timeout = rem
+		}
+	}
+	if timeout <= 0 {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, context.DeadlineExceeded)
+	}
+	return DialTimeout(addr, timeout)
 }
 
 // NewClient wraps an existing connection.
@@ -381,6 +469,19 @@ func (c *Client) SetTracer(t *obsv.Tracer) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.tracer = t
+}
+
+// SetTimeout installs a default per-call deadline: every Call/CallCtx
+// without an earlier context deadline bounds its round trip to d. Zero
+// disables (context deadlines still apply). A call that hits the
+// deadline leaves the connection mid-frame and therefore unusable —
+// the error is terminal for this Client, which is exactly what the
+// managed layer (DialManaged) wants: it drops the connection and
+// redials.
+func (c *Client) SetTimeout(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.timeout = d
 }
 
 // ErrRemote wraps an error string returned by the server.
@@ -423,6 +524,23 @@ func (c *Client) CallCtx(ctx context.Context, kind string, in any, out any) erro
 	frame, err := json.Marshal(&req)
 	if err != nil {
 		return fmt.Errorf("transport: encoding envelope: %w", err)
+	}
+	// Per-call deadline: the earlier of the context's deadline and the
+	// connection default. The deadline covers the whole round trip; on
+	// expiry the read/write fails with a timeout and the connection is
+	// desynchronized (a late response frame would answer the wrong call),
+	// so callers must treat a timeout as fatal for this Client.
+	deadline, hasDeadline := ctx.Deadline()
+	if c.timeout > 0 {
+		if d := time.Now().Add(c.timeout); !hasDeadline || d.Before(deadline) {
+			deadline, hasDeadline = d, true
+		}
+	}
+	if hasDeadline {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return fmt.Errorf("transport: setting deadline: %w", err)
+		}
+		defer c.conn.SetDeadline(time.Time{})
 	}
 	err = c.roundTrip(header, frame, req.ID, out)
 	span.End(err)
